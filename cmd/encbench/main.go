@@ -1,0 +1,95 @@
+// Command encbench explores the psum-encoding timing channel (§7.2, §8.2):
+// for each evaluated LPDDR configuration it reports whether every layer of a
+// deployed victim is GLB-bound and how much extra GLB bandwidth the
+// accelerator could add before its first layer becomes DRAM-bound — the
+// paper's §8.2 table.
+//
+// Usage:
+//
+//	encbench -model vggs -scale 8 -keep 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/dram"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/prune"
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		model = flag.String("model", "vggs", "architecture (vggs|resnet18)")
+		scale = flag.Int("scale", 8, "channel-width divisor")
+		keep  = flag.Float64("keep", 0.1, "fraction of weights kept (paper: 10x pruning)")
+		seed  = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var arch *models.Arch
+	switch *model {
+	case "vggs":
+		arch = models.VGGS(*scale)
+	case "resnet18":
+		arch = models.ResNet18(*scale)
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *keep < 1 {
+		prune.GlobalMagnitude(bind.Net.Params(), *keep)
+	}
+
+	// One representative inference to populate psum and output tensors.
+	cfg := accel.DefaultConfig()
+	m := accel.NewMachine(cfg, arch, bind)
+	img := tensor.New(arch.InC, arch.InH, arch.InW)
+	img.Uniform(rng, 0, 1)
+	if _, err := m.Run(img); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("victim %s, %.0f%% weights pruned\n", arch.Name, 100*prune.OverallSparsity(bind.Net.Params()))
+	fmt.Printf("%-16s %10s %14s\n", "memory", "GLB-bound", "headroom (x)")
+	for _, mem := range dram.EvaluatedSpecs() {
+		c := cfg
+		c.Mem = mem
+		headroom := 1e18
+		allGLB := true
+		// The classifier head's psum count (#classes) is below DRAM block
+		// granularity — its "interval" is a single transfer and carries no
+		// timing information, so the paper's per-layer analysis (and ours)
+		// covers the conv layers.
+		for i, u := range arch.Units {
+			if u.Kind != models.UnitConv {
+				continue
+			}
+			psums := bind.UnitTensor(i).Size()
+			if ps := bind.PsumOut(i); ps != nil {
+				psums = ps.Size()
+			}
+			out := bind.UnitTensor(i)
+			outBytes := c.ActCodec.Size(out.Data)
+			glb, dr := accel.EncodingBounds(c, psums, outBytes)
+			if dr > glb {
+				allGLB = false
+			}
+			if h := glb / dr; h < headroom {
+				headroom = h
+			}
+		}
+		fmt.Printf("%-16s %10v %14.1f\n", fmt.Sprintf("%s-%dch", mem.Name, mem.Channels), allGLB, headroom)
+	}
+	fmt.Println("\nheadroom = how much faster the GLB could read psums before the")
+	fmt.Println("first layer becomes DRAM-bound (the paper's §8.2 table).")
+}

@@ -1,0 +1,119 @@
+// Command huffduff runs the end-to-end model-stealing attack against a
+// simulated sparse-accelerator victim and reports everything it recovers:
+// the dataflow graph, per-layer geometry, channel ratios from the timing
+// side channel, and the finalized solution space.
+//
+// Usage:
+//
+//	huffduff -model resnet18 -scale 16 -keep 0.5 -trials 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"github.com/huffduff/huffduff/internal/accel"
+	attack "github.com/huffduff/huffduff/internal/huffduff"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/prune"
+)
+
+func archByName(name string, scale int) (*models.Arch, error) {
+	switch name {
+	case "smallcnn":
+		return models.SmallCNN(), nil
+	case "vggs":
+		return models.VGGS(scale), nil
+	case "resnet18":
+		return models.ResNet18(scale), nil
+	case "alexnet":
+		return models.AlexNet(scale), nil
+	case "mobilenetv2":
+		return models.MobileNetV2(scale), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (want smallcnn|vggs|resnet18|alexnet|mobilenetv2)", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		model   = flag.String("model", "smallcnn", "victim architecture")
+		scale   = flag.Int("scale", 16, "channel-width divisor for the victim")
+		keep    = flag.Float64("keep", 0.5, "fraction of weights kept after pruning (1 = dense)")
+		trials  = flag.Int("trials", 32, "independent random probe trials T")
+		q       = flag.Int("q", 24, "probe positions per family")
+		seed    = flag.Int64("seed", 1, "victim and attack seed")
+		defence = flag.Float64("defence", 0, "randomized zero-padding probability (§9.2 defence)")
+		noiseOK = flag.Bool("noise-tolerant", false, "enable the repeated-measurement counter-attack")
+	)
+	flag.Parse()
+
+	arch, err := archByName(*model, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *keep < 1 {
+		prune.GlobalMagnitude(bind.Net.Params(), *keep)
+	}
+	acfg := accel.DefaultConfig()
+	acfg.ZeroPadProb = *defence
+	acfg.Seed = *seed
+	victim := accel.NewMachine(acfg, arch, bind)
+
+	cfg := attack.DefaultConfig()
+	cfg.Probe.Trials = *trials
+	cfg.Probe.Q = *q
+	cfg.Probe.Seed = *seed
+	cfg.Probe.NoiseTolerant = *noiseOK
+
+	fmt.Printf("victim: %s (%.0f%% weights pruned)\n", arch.Name, 100*prune.OverallSparsity(bind.Net.Params()))
+	fmt.Printf("probing: T=%d trials x 4 families x Q=%d positions\n\n", *trials, *q)
+
+	res, err := attack.Attack(victim, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attack failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("recovered dataflow graph:")
+	fmt.Print(res.Graph.String())
+
+	fmt.Println("\nrecovered conv geometry (vs ground truth):")
+	correct, total := 0, 0
+	for i, u := range arch.Units {
+		if u.Kind != models.UnitConv {
+			continue
+		}
+		total++
+		got := res.Probe.Geoms[i+1]
+		mark := "MISS"
+		if got.Kernel == u.Kernel && got.Stride == u.Stride && got.Pool == u.Pool {
+			mark = "ok"
+			correct++
+		}
+		fmt.Printf("  %-8s recovered k=%d s=%d pool=%d   true k=%d s=%d pool=%d   kratio=%.2f  [%s]\n",
+			u.Name, got.Kernel, got.Stride, got.Pool, u.Kernel, u.Stride, u.Pool, res.Timing.KRatio[i+1], mark)
+	}
+	fmt.Printf("geometry recovery: %d/%d\n", correct, total)
+
+	sp := res.Space
+	fmt.Printf("\nsolution space: k1 in [%d, %d] -> %d candidates (geometry ambiguity x%d)\n",
+		sp.K1Min, sp.K1Max, len(sp.Solutions), sp.GeomAmbiguity)
+	trueK1 := arch.Units[arch.ConvUnits()[0]].OutC
+	inRange := trueK1 >= sp.K1Min && trueK1 <= sp.K1Max
+	fmt.Printf("true first-layer channels: %d (in range: %v)\n", trueK1, inRange)
+
+	samples := attack.SampleSolutions(sp, 3, rng)
+	fmt.Println("\nsampled candidate architectures:")
+	for _, s := range samples {
+		fmt.Printf("--- k1=%d ---\n%s", s.K1, s.Arch.String())
+	}
+}

@@ -1,0 +1,93 @@
+// Command tracedump runs one inference on the simulated sparse accelerator
+// and prints the DRAM trace the attacker would capture, followed by the
+// segmented attacker view (footprints, dependencies, encoding intervals).
+//
+// Usage:
+//
+//	tracedump -model resnet18 -scale 16 -raw=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/prune"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		model = flag.String("model", "smallcnn", "architecture (smallcnn|vggs|resnet18|alexnet|mobilenetv2)")
+		scale = flag.Int("scale", 16, "channel-width divisor")
+		keep  = flag.Float64("keep", 0.5, "fraction of weights kept")
+		seed  = flag.Int64("seed", 1, "seed")
+		raw   = flag.Bool("raw", false, "dump every raw DRAM access")
+		limit = flag.Int("limit", 40, "max raw accesses to print")
+	)
+	flag.Parse()
+
+	var arch *models.Arch
+	switch *model {
+	case "smallcnn":
+		arch = models.SmallCNN()
+	case "vggs":
+		arch = models.VGGS(*scale)
+	case "resnet18":
+		arch = models.ResNet18(*scale)
+	case "alexnet":
+		arch = models.AlexNet(*scale)
+	case "mobilenetv2":
+		arch = models.MobileNetV2(*scale)
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *keep < 1 {
+		prune.GlobalMagnitude(bind.Net.Params(), *keep)
+	}
+	m := accel.NewMachine(accel.DefaultConfig(), arch, bind)
+
+	img := tensor.New(arch.InC, arch.InH, arch.InW)
+	img.Uniform(rng, 0, 1)
+	tr, err := m.Run(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reads, writes := tr.TotalBytes()
+	fmt.Printf("trace: %d accesses, %d bytes read, %d bytes written\n", len(tr.Accesses), reads, writes)
+	fmt.Printf("device: %s\n\n", m.LastStats())
+
+	if *raw {
+		for i, a := range tr.Accesses {
+			if i >= *limit {
+				fmt.Printf("... (%d more)\n", len(tr.Accesses)-i)
+				break
+			}
+			fmt.Printf("%12.3fus %s 0x%08x %4dB\n", a.Time*1e6, a.Op, a.Addr, a.Bytes)
+		}
+		fmt.Println()
+	}
+
+	obs, err := trace.Analyze(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("attacker view (segmented):")
+	fmt.Printf("%4s %10s %10s %10s %12s  %s\n", "seg", "W bytes", "I bytes", "O bytes", "enc Δt (us)", "deps")
+	for _, o := range obs {
+		fmt.Printf("%4d %10d %10d %10d %12.3f  %v\n",
+			o.Index, o.WeightBytes, o.InputBytes, o.OutputBytes, o.EncodingTime()*1e6, o.Deps)
+	}
+}

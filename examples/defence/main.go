@@ -1,0 +1,61 @@
+// Evaluate the §9.2 defence: the accelerator randomly leaves zero
+// activations uncompressed, randomizing transfer volumes to obfuscate the
+// boundary effect. The example sweeps the defence strength against (a) the
+// naive prober and (b) the repeated-measurement counter-attack the paper
+// anticipates ("this kind of noise could be overcome with repeated trials"),
+// and reports the extra inference cost the counter-attack pays.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/huffduff/huffduff"
+	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	arch := models.SmallCNN()
+	rng := rand.New(rand.NewSource(55))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	huffduff.PruneGlobal(bind.Net.Params(), 0.5)
+
+	fmt.Printf("%-12s %14s %22s\n", "defence p", "naive attack", "repeated-measurement")
+	for _, p := range []float64{0, 0.0002, 0.001, 0.01} {
+		naive := tryAttack(arch, bind, p, false)
+		tolerant := tryAttack(arch, bind, p, true)
+		fmt.Printf("%-12g %14s %22s\n", p, naive, tolerant)
+	}
+	fmt.Println("\nThe naive prober dies at any nonzero noise (a single spurious byte")
+	fmt.Println("breaks nnz-equality), while averaging 25 repeats per probe recovers")
+	fmt.Println("the signal until the noise scale approaches the boundary-effect")
+	fmt.Println("signal itself — at ~25x the query cost.")
+}
+
+func tryAttack(arch *models.Arch, bind *models.Binding, p float64, tolerant bool) string {
+	acfg := accel.DefaultConfig()
+	acfg.ZeroPadProb = p
+	device := huffduff.NewMachine(acfg, arch, bind)
+	cfg := huffduff.DefaultAttackConfig()
+	cfg.Probe.Trials = 8
+	if tolerant {
+		cfg.Probe.NoiseTolerant = true
+		cfg.Probe.Trials = 4
+		cfg.Probe.NoiseRepeats = 25
+	}
+	res, err := huffduff.Attack(device, cfg)
+	if err != nil {
+		return "FAILS"
+	}
+	// Correct iff the first layer's 5x5 kernel was recovered.
+	if res.Probe.Geoms[1].Kernel == 5 {
+		return fmt.Sprintf("ok (%d candidates)", res.Space.Count())
+	}
+	return "wrong geometry"
+}

@@ -1,0 +1,55 @@
+// Quickstart: deploy a small pruned CNN on the simulated sparse accelerator
+// and steal its architecture through the DRAM side channel — in under a
+// minute.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/huffduff/huffduff"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The vendor: build a secret model and prune it for the edge.
+	rng := rand.New(rand.NewSource(7))
+	secret := huffduff.SmallCNN()
+	bind, err := secret.Build(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	huffduff.PruneGlobal(bind.Net.Params(), 0.5)
+	fmt.Printf("victim deployed: %s (%.0f%% pruned)\n",
+		secret.Name, 100*huffduff.OverallSparsity(bind.Net.Params()))
+
+	// 2. Deploy on a sparse accelerator. The attacker can only feed inputs
+	// and watch encrypted DRAM traffic volumes and timing.
+	device := huffduff.NewMachine(huffduff.DefaultAccelConfig(), secret, bind)
+
+	// 3. The attacker: run HuffDuff.
+	res, err := huffduff.Attack(device, huffduff.DefaultAttackConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nrecovered dataflow graph:")
+	fmt.Print(res.Graph.String())
+
+	fmt.Println("recovered conv geometry:")
+	for node, g := range map[int]string{1: "c1", 2: "c2", 3: "c3"} {
+		geom := res.Probe.Geoms[node]
+		fmt.Printf("  %s: kernel %dx%d, stride %d, pool %d (k-ratio %.2f)\n",
+			g, geom.Kernel, geom.Kernel, geom.Stride, geom.Pool, res.Timing.KRatio[node])
+	}
+
+	sp := res.Space
+	fmt.Printf("\nsolution space: first-layer channels in [%d,%d] -> %d candidates\n",
+		sp.K1Min, sp.K1Max, sp.Count())
+	fmt.Printf("(the victim's true first-layer channel count is %d)\n", secret.Units[0].OutC)
+
+	best := huffduff.SampleSolutions(sp, 1, rng)[0]
+	fmt.Printf("\none sampled candidate (k1=%d):\n%s", best.K1, best.Arch.String())
+}

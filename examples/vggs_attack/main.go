@@ -1,0 +1,83 @@
+// The full pipeline of the paper's evaluation on a width-scaled VGG-S
+// victim: train, prune (lottery-ticket style), deploy on the simulated
+// accelerator, steal the architecture with HuffDuff, then retrain a sampled
+// candidate under the iso-footprint constraint and compare accuracy with
+// the victim (a miniature Fig. 4 experiment).
+//
+// Takes a few minutes on a laptop-class CPU.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/huffduff/huffduff"
+)
+
+func main() {
+	log.SetFlags(0)
+	const scale = 16 // width divisor; lower = closer to the paper, slower
+
+	tr, te := huffduff.Synthetic(11, 1500, 500, 0.08)
+
+	// ---- Vendor side -----------------------------------------------------
+	rng := rand.New(rand.NewSource(3))
+	victimArch := huffduff.VGGS(scale)
+	victim, err := victimArch.Build(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := huffduff.DefaultTrainConfig()
+	cfg.Epochs = 3
+	cfg.Logf = log.Printf
+	fmt.Println("training the victim...")
+	huffduff.Fit(victim.Net, tr, cfg)
+	huffduff.PruneGlobal(victim.Net.Params(), 0.25) // 4x compression
+	cfg.Epochs = 2
+	huffduff.Fit(victim.Net, tr, cfg) // fine-tune the pruned net
+	victimAcc := huffduff.Accuracy(victim.Net, te, 64)
+	footprint := victim.Net.NNZParams()
+	fmt.Printf("victim: %s, accuracy %.1f%%, %d nonzero weights\n\n",
+		victimArch.Name, 100*victimAcc, footprint)
+
+	// ---- Attacker side ---------------------------------------------------
+	device := huffduff.NewMachine(huffduff.DefaultAccelConfig(), victimArch, victim)
+	atk := huffduff.DefaultAttackConfig()
+	atk.Probe.Trials = 24
+	fmt.Println("running HuffDuff against the deployed device...")
+	res, err := huffduff.Attack(device, atk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solution space: k1 in [%d,%d], %d candidates\n\n",
+		res.Space.K1Min, res.Space.K1Max, res.Space.Count())
+
+	// ---- Retrain one sampled candidate, iso-footprint --------------------
+	sol := huffduff.SampleSolutions(res.Space, 1, rng)[0]
+	fmt.Printf("retraining candidate k1=%d...\n", sol.K1)
+	cand, err := sol.Arch.Build(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg2 := huffduff.DefaultTrainConfig()
+	cfg2.Epochs = 3
+	cfg2.Logf = log.Printf
+	huffduff.Fit(cand.Net, tr, cfg2)
+	// Iso-footprint: prune the candidate to the victim's observed nonzero
+	// budget, then fine-tune.
+	keep := float64(footprint) / float64(cand.Net.NumParams())
+	if keep < 1 {
+		huffduff.PruneGlobal(cand.Net.Params(), keep)
+		cfg2.Epochs = 2
+		huffduff.Fit(cand.Net, tr, cfg2)
+	}
+	candAcc := huffduff.Accuracy(cand.Net, te, 64)
+	fmt.Printf("\ncandidate: accuracy %.1f%% with %d nonzero weights\n", 100*candAcc, cand.Net.NNZParams())
+	fmt.Printf("victim:    accuracy %.1f%% with %d nonzero weights\n", 100*victimAcc, footprint)
+	if candAcc >= victimAcc-0.05 {
+		fmt.Println("=> the stolen architecture reaches the victim's accuracy class (Fig. 4).")
+	} else {
+		fmt.Println("=> candidate below victim accuracy; try more epochs or another sample.")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/huffduff/huffduff
+
+go 1.22

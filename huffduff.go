@@ -1,0 +1,193 @@
+// Package huffduff is a from-scratch reproduction of "HuffDuff: Stealing
+// Pruned DNNs from Sparse Accelerators" (Yang, Nair, Lis — ASPLOS 2023).
+//
+// It bundles everything the paper's evaluation needs, all in pure Go with
+// only the standard library:
+//
+//   - a CNN library with training (internal/nn, internal/train) and a model
+//     zoo of the paper's victims and baselines (internal/models);
+//   - unstructured pruning, including lottery-ticket iterative pruning
+//     (internal/prune);
+//   - a simulated Eyeriss-v2-class two-sided sparse accelerator with
+//     compressed DRAM transfers and an on-the-fly psum-encoding pipeline
+//     (internal/accel, internal/sparse, internal/dram);
+//   - the attacker-side trace analysis, boundary-effect prober, symbolic
+//     convolution engine, timing side channel, and solution-space
+//     finalization (internal/trace, internal/probe, internal/symconv,
+//     internal/huffduff);
+//   - the prior dense-accelerator attack and its naïve sparse extension for
+//     Table 1 (internal/reversecnn), and targeted adversarial-transfer
+//     evaluation for Figs. 5–6 (internal/adv).
+//
+// This package is the public facade: it re-exports the types and entry
+// points a downstream user needs to deploy a victim on the simulated
+// accelerator and steal it back.
+//
+// Quick start:
+//
+//	arch := huffduff.SmallCNN()
+//	bind, _ := arch.Build(rand.New(rand.NewSource(1)))
+//	victim := huffduff.NewMachine(huffduff.DefaultAccelConfig(), arch, bind)
+//	res, _ := huffduff.Attack(victim, huffduff.DefaultAttackConfig())
+//	fmt.Println(res.Space.Count(), "candidate architectures")
+package huffduff
+
+import (
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/adv"
+	"github.com/huffduff/huffduff/internal/dataset"
+	"github.com/huffduff/huffduff/internal/dram"
+	attack "github.com/huffduff/huffduff/internal/huffduff"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/prune"
+	"github.com/huffduff/huffduff/internal/reversecnn"
+	"github.com/huffduff/huffduff/internal/trace"
+	"github.com/huffduff/huffduff/internal/train"
+)
+
+// Architecture IR and model zoo.
+type (
+	// Arch describes a CNN at accelerator-execution granularity.
+	Arch = models.Arch
+	// Unit is one layerwise execution pass of an Arch.
+	Unit = models.Unit
+	// Binding is a built, runnable network bound to its Arch.
+	Binding = models.Binding
+	// Network is the runnable DAG of layers.
+	Network = nn.Network
+)
+
+// Model zoo constructors. scale divides channel widths (1 = paper-size).
+var (
+	// VGGS is the paper's VGG-S victim (VGG-16-style CIFAR network).
+	VGGS = models.VGGS
+	// ResNet18 is the paper's ResNet-18 victim (CIFAR variant).
+	ResNet18 = models.ResNet18
+	// AlexNet is the prior-generation accuracy baseline of Fig. 4.
+	AlexNet = models.AlexNet
+	// MobileNetV2 is a random-surrogate baseline of Figs. 5–6.
+	MobileNetV2 = models.MobileNetV2
+	// SmallCNN is a tiny victim for demos and tests.
+	SmallCNN = models.SmallCNN
+)
+
+// Victim device simulation.
+type (
+	// Machine is a model deployed on the simulated sparse accelerator.
+	Machine = accel.Machine
+	// AccelConfig describes the accelerator and its DRAM.
+	AccelConfig = accel.Config
+	// DRAMSpec is an LPDDR memory configuration.
+	DRAMSpec = dram.Spec
+	// Trace is the DRAM access trace an inference leaves behind.
+	Trace = trace.Trace
+)
+
+// NewMachine deploys a built model on the simulated accelerator.
+func NewMachine(cfg AccelConfig, arch *Arch, bind *Binding) *Machine {
+	return accel.NewMachine(cfg, arch, bind)
+}
+
+// DefaultAccelConfig returns an Eyeriss-v2-like device with single-channel
+// LPDDR4.
+func DefaultAccelConfig() AccelConfig { return accel.DefaultConfig() }
+
+// LPDDR memory constructors (channels: 1 or 2).
+var (
+	LPDDR3  = dram.LPDDR3
+	LPDDR4  = dram.LPDDR4
+	LPDDR4X = dram.LPDDR4X
+)
+
+// The attack.
+type (
+	// AttackConfig configures the end-to-end HuffDuff attack.
+	AttackConfig = attack.Config
+	// AttackResult carries everything the attack recovers.
+	AttackResult = attack.Result
+	// Solution is one candidate architecture from the finalized space.
+	Solution = attack.Solution
+	// SolutionSpace is the finalized candidate set (§8.2).
+	SolutionSpace = attack.SolutionSpace
+	// Victim is the attacker's handle on a device: feed inputs, observe
+	// DRAM traces.
+	Victim = attack.Victim
+)
+
+// DefaultAttackConfig matches the paper's evaluation setup.
+func DefaultAttackConfig() AttackConfig { return attack.DefaultConfig() }
+
+// Attack runs the full HuffDuff pipeline against a victim device.
+func Attack(victim Victim, cfg AttackConfig) (*AttackResult, error) {
+	return attack.Attack(victim, cfg)
+}
+
+// SampleSolutions draws n distinct candidates uniformly from the solution
+// space.
+func SampleSolutions(space *SolutionSpace, n int, rng *rand.Rand) []Solution {
+	return attack.SampleSolutions(space, n, rng)
+}
+
+// Training, data, and pruning.
+type (
+	// Dataset is a labelled image set.
+	Dataset = dataset.Dataset
+	// TrainConfig controls an SGD training run.
+	TrainConfig = train.Config
+)
+
+// Synthetic generates the deterministic CIFAR-10-shaped synthetic dataset
+// (see DESIGN.md "Substitutions").
+var Synthetic = dataset.Synthetic
+
+// DefaultTrainConfig suits the width-scaled models used in the evaluation.
+func DefaultTrainConfig() TrainConfig { return train.DefaultConfig() }
+
+// Fit trains a network; Accuracy evaluates top-1 accuracy.
+var (
+	Fit      = train.Fit
+	Accuracy = train.Accuracy
+)
+
+// Pruning entry points.
+var (
+	// PruneGlobal prunes the smallest-magnitude weights network-wide.
+	PruneGlobal = prune.GlobalMagnitude
+	// PruneLayerwise prunes each layer independently.
+	PruneLayerwise = prune.LayerwiseMagnitude
+	// LotteryTicket runs iterative magnitude pruning with weight rewind.
+	LotteryTicket = prune.LotteryTicket
+	// OverallSparsity reports the pruned fraction of prunable weights.
+	OverallSparsity = prune.OverallSparsity
+)
+
+// Adversarial transfer (Figs. 5–6).
+type (
+	// BIMConfig controls the iterative targeted attack.
+	BIMConfig = adv.BIMConfig
+	// TransferResult summarizes a targeted transfer evaluation.
+	TransferResult = adv.TransferResult
+)
+
+var (
+	// DefaultBIM returns the evaluation BIM config for a 0–255-scale ε.
+	DefaultBIM = adv.DefaultBIM
+	// EvaluateTransfer runs the §8.3 least-likely-label transfer protocol.
+	EvaluateTransfer = adv.EvaluateTransfer
+)
+
+// Prior-work baseline (Table 1).
+type (
+	// LayerObs is a per-layer footprint observation for ReverseCNN.
+	LayerObs = reversecnn.LayerObs
+)
+
+var (
+	// SolveDense is the ReverseCNN dense-accelerator solver.
+	SolveDense = reversecnn.SolveDense
+	// SparseCount sizes the naïve sparse solution space.
+	SparseCount = reversecnn.SparseCount
+)

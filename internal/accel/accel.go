@@ -1,0 +1,377 @@
+// Package accel simulates a mobile-class two-sided sparse DNN accelerator in
+// the style of Eyeriss v2: layerwise execution with all tensors visiting
+// off-chip DRAM, compressed weight and activation transfers, zero-skipping
+// compute, and an on-the-fly psum-encoding post-processing unit whose
+// writeback behaviour creates the timing side channel of §7.
+//
+// The simulator is the "victim device". It consumes a models.Binding (the
+// deployed network) and produces trace.Trace values — the only artifact the
+// attacker sees. Tensor contents never appear in the trace ("encrypted"
+// transfers).
+package accel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/dram"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/sparse"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+// Config describes the accelerator and memory system.
+type Config struct {
+	// ActCodec compresses activation tensors on the DRAM bus
+	// (sparse.Dense models a dense accelerator, the ReverseCNN setting).
+	ActCodec sparse.Codec
+	// WeightCodec compresses weight tensors.
+	WeightCodec sparse.Codec
+	// PsumBits is the accumulator width (Eyeriss v2 uses 20 bits).
+	PsumBits int
+	// GLBRowWords is the number of psum words the post-processing unit
+	// consumes per cycle (Eyeriss v2: 8 banks × 3 words).
+	GLBRowWords int
+	// ClockHz is the accelerator clock (Eyeriss v2: 200 MHz).
+	ClockHz float64
+	// PEs is the processing-element count, for the compute-time model.
+	PEs int
+	// Mem is the external DRAM.
+	Mem dram.Spec
+	// BlockBytes is the DRAM transaction granularity.
+	BlockBytes int
+	// StructuredWeights switches weight transfers to channel-granular
+	// compression: alive output channels ship densely plus a channel
+	// bitmap. Transfer sizes then depend only on the channel mask, not on
+	// weight values — the structured-sparsity regime §2 notes is
+	// attackable with dense-era techniques.
+	StructuredWeights bool
+	// ZeroPadProb is the §9.2 defence: each zero activation is left
+	// uncompressed (counted as a nonzero on the bus) with this probability,
+	// randomizing observed transfer volumes.
+	ZeroPadProb float64
+	// Seed drives the defence randomness.
+	Seed int64
+}
+
+// DefaultConfig returns an Eyeriss-v2-like accelerator with dual-channel
+// LPDDR4. With this memory the encoding pipeline is GLB-bound on every
+// layer of the evaluated victims — including the residual-branch convs
+// whose pre-add outputs are dense — which is the regime the §7 timing
+// channel assumes.
+func DefaultConfig() Config {
+	return Config{
+		ActCodec:    sparse.Bitmap{ElemBytes: 1},
+		WeightCodec: sparse.CSC{ElemBytes: 1, IndexBits: 4},
+		PsumBits:    20,
+		GLBRowWords: 24,
+		ClockHz:     200e6,
+		PEs:         192,
+		Mem:         dram.LPDDR4(2),
+		BlockBytes:  64,
+		Seed:        1,
+	}
+}
+
+// DenseConfig returns a dense accelerator (no compression anywhere): the
+// setting the prior ReverseCNN attack assumes, where every transfer size
+// equals the tensor's element count times the element width.
+func DenseConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ActCodec = sparse.Dense{ElemBytes: 1}
+	cfg.WeightCodec = sparse.Dense{ElemBytes: 1}
+	return cfg
+}
+
+// StructuredConfig returns a structured-sparse accelerator: dense
+// activations and channel-granular weight compression, so no transfer size
+// depends on data content — the regime where dense-era attacks still work.
+func StructuredConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ActCodec = sparse.Dense{ElemBytes: 1}
+	cfg.StructuredWeights = true
+	return cfg
+}
+
+// psumReadRate returns GLB psum words consumed per second.
+func (c Config) psumReadRate() float64 { return float64(c.GLBRowWords) * c.ClockHz }
+
+// EncodingBounds returns the two candidate durations of the encoding
+// pipeline for a layer with the given dense psum count and compressed output
+// size: the GLB-side time (reading all psum rows) and the DRAM-side time
+// (writing all compressed blocks). The pipeline is bound by the larger.
+func EncodingBounds(c Config, psums, outBytes int) (glbTime, dramTime float64) {
+	glbTime = float64(psums) / c.psumReadRate()
+	dramTime = float64(outBytes) / c.Mem.Bandwidth()
+	return glbTime, dramTime
+}
+
+// Machine is a deployed model on the simulated accelerator.
+type Machine struct {
+	Cfg  Config
+	Arch *models.Arch
+	Bind *models.Binding
+
+	weightAddrs []addrRange // per unit
+	rng         *rand.Rand
+	stats       Stats
+}
+
+type addrRange struct {
+	lo   uint64
+	size int
+}
+
+// Address map: weights live in a read-only region; activations are bump-
+// allocated per inference with no reuse (each tensor version gets a fresh
+// range, which is what SSA-style renaming would recover anyway).
+const (
+	weightBase = uint64(0x1000_0000)
+	actBase    = uint64(0x8000_0000)
+)
+
+// NewMachine deploys a built model. Weight regions are laid out immediately
+// (their compressed sizes are content-dependent and fixed after pruning).
+func NewMachine(cfg Config, arch *models.Arch, bind *models.Binding) *Machine {
+	m := &Machine{Cfg: cfg, Arch: arch, Bind: bind, rng: rand.New(rand.NewSource(cfg.Seed))}
+	next := weightBase
+	m.weightAddrs = make([]addrRange, len(arch.Units))
+	for i := range arch.Units {
+		size := m.weightBytes(i)
+		m.weightAddrs[i] = addrRange{lo: next, size: size}
+		next += uint64(size) + 0x1000
+	}
+	return m
+}
+
+// weightBytes returns the compressed weight footprint of unit i (0 for
+// units without weights).
+func (m *Machine) weightBytes(i int) int {
+	var w *tensor.Tensor
+	if c := m.Bind.Conv[i]; c != nil {
+		w = c.Weight.W
+	} else if fc := m.Bind.FC[i]; fc != nil {
+		w = fc.Weight.W
+	} else {
+		return 0
+	}
+	if m.Cfg.StructuredWeights {
+		return structuredWeightBytes(w)
+	}
+	return m.Cfg.WeightCodec.Size(w.Data)
+}
+
+// structuredWeightBytes models channel-granular weight compression: alive
+// output channels ship densely (1 byte/weight) plus a presence bitmap.
+func structuredWeightBytes(w *tensor.Tensor) int {
+	outC := w.Dim(0)
+	per := w.Size() / outC
+	alive := 0
+	for c := 0; c < outC; c++ {
+		for _, v := range w.Data[c*per : (c+1)*per] {
+			if v != 0 {
+				alive++
+				break
+			}
+		}
+	}
+	return alive*per + (outC+7)/8
+}
+
+// actBytes returns the compressed size of an activation tensor, applying
+// the ZeroPadProb defence if enabled: protected zeros are shipped as if
+// they were nonzero, inflating (and randomizing) the transfer.
+func (m *Machine) actBytes(t *tensor.Tensor) int {
+	values := t.Data
+	if m.Cfg.ZeroPadProb > 0 {
+		values = append([]float64(nil), t.Data...)
+		for i, v := range values {
+			if v == 0 && m.rng.Float64() < m.Cfg.ZeroPadProb {
+				values[i] = 1 // any nonzero marker: only the size matters
+			}
+		}
+	}
+	return m.Cfg.ActCodec.Size(values)
+}
+
+// emitter builds the trace with a running clock.
+type emitter struct {
+	t     float64
+	bw    float64
+	block int
+	tr    *trace.Trace
+}
+
+// burst emits a sequence of block transfers covering [lo, lo+bytes) at the
+// DRAM bandwidth, advancing the clock.
+func (e *emitter) burst(op trace.Op, lo uint64, bytes int) {
+	for off := 0; off < bytes; off += e.block {
+		n := e.block
+		if off+n > bytes {
+			n = bytes - off
+		}
+		e.tr.Accesses = append(e.tr.Accesses, trace.Access{Time: e.t, Op: op, Addr: lo + uint64(off), Bytes: n})
+		e.t += float64(n) / e.bw
+	}
+}
+
+// interleavedReads emits two read streams (input acts first, then strictly
+// alternating with weights) so segmentation sees the RAW-dependent read
+// first — matching a real streaming accelerator that begins fetching the
+// input tile immediately.
+func (e *emitter) interleavedReads(inputs []addrRange, weights addrRange) {
+	type stream struct {
+		r   addrRange
+		off int
+	}
+	var streams []stream
+	for _, in := range inputs {
+		streams = append(streams, stream{r: in})
+	}
+	if weights.size > 0 {
+		streams = append(streams, stream{r: weights})
+	}
+	done := 0
+	for done < len(streams) {
+		done = 0
+		for i := range streams {
+			s := &streams[i]
+			if s.off >= s.r.size {
+				done++
+				continue
+			}
+			n := e.block
+			if s.off+n > s.r.size {
+				n = s.r.size - s.off
+			}
+			e.tr.Accesses = append(e.tr.Accesses, trace.Access{Time: e.t, Op: trace.Read, Addr: s.r.lo + uint64(s.off), Bytes: n})
+			e.t += float64(n) / e.bw
+			s.off += n
+		}
+	}
+}
+
+// Run executes one inference (batch size 1) and returns the DRAM trace.
+// The returned trace begins with the attacker's input DMA segment.
+func (m *Machine) Run(img *tensor.Tensor) (*trace.Trace, error) {
+	if img.NumDims() == 3 {
+		img = img.Reshape(1, img.Dim(0), img.Dim(1), img.Dim(2))
+	}
+	if img.NumDims() != 4 || img.Dim(0) != 1 {
+		return nil, fmt.Errorf("accel: Run requires a single [C,H,W] or [1,C,H,W] image, got %v", img.Shape())
+	}
+	if img.Dim(1) != m.Arch.InC || img.Dim(2) != m.Arch.InH || img.Dim(3) != m.Arch.InW {
+		return nil, fmt.Errorf("accel: image %v does not match arch input %dx%dx%d", img.Shape(), m.Arch.InC, m.Arch.InH, m.Arch.InW)
+	}
+
+	// Dense numeric execution: the accelerator's zero-skipping arithmetic is
+	// value-exact, so the nn forward pass gives the same tensors.
+	m.Bind.Net.Forward(img, false)
+
+	m.stats = Stats{}
+	e := &emitter{bw: m.Cfg.Mem.Bandwidth(), block: m.Cfg.BlockBytes, tr: &trace.Trace{}}
+
+	// Segment 0: attacker DMA of the (compressed) input image.
+	next := actBase
+	alloc := func(size int) addrRange {
+		r := addrRange{lo: next, size: size}
+		next += uint64(size) + 0x100
+		return r
+	}
+	inputRange := alloc(m.actBytes(img))
+	e.burst(trace.Write, inputRange.lo, inputRange.size)
+
+	// Activation ranges per unit output.
+	outRanges := make([]addrRange, len(m.Arch.Units))
+	rangeOf := func(id int) addrRange {
+		if id == models.InputID {
+			return inputRange
+		}
+		return outRanges[id]
+	}
+
+	for i, u := range m.Arch.Units {
+		// 1. Fetch inputs (and weights, interleaved).
+		var inputs []addrRange
+		for _, src := range u.In {
+			inputs = append(inputs, rangeOf(src))
+		}
+		e.interleavedReads(inputs, m.weightAddrs[i])
+
+		// 2. Compute (zero-skipped MACs on the PE array).
+		e.t += m.computeTime(i)
+		m.accumulateCompute(i)
+
+		// 3. Post-process: encode psums on the fly and write back.
+		out := m.Bind.UnitTensor(i)
+		outBytes := m.actBytes(out)
+		psums := out.Size() // dense elements entering the encoder
+		if ps := m.Bind.PsumOut(i); ps != nil {
+			psums = ps.Size() // conv/linear: pre-pool dense psum count
+		}
+		r := alloc(outBytes)
+		outRanges[i] = r
+		m.encode(e, r, outBytes, psums)
+	}
+	m.stats.DRAMReadBytes, m.stats.DRAMWriteBytes = e.tr.TotalBytes()
+	m.finalizeStats(e.t)
+	return e.tr, nil
+}
+
+// computeTime models the zero-skipping PE array: effectual MACs divided by
+// PE throughput. It only adds realism to the timeline; the attack does not
+// use it.
+func (m *Machine) computeTime(i int) float64 {
+	u := m.Arch.Units[i]
+	if u.Kind != models.UnitConv {
+		return 0
+	}
+	c := m.Bind.Conv[i]
+	ps := m.Bind.PsumOut(i)
+	in := m.Bind.InputTensorOf(m.Arch, i, 0)
+	macs := float64(ps.Size()) * float64(c.InC/maxInt(1, c.Groups)) * float64(c.Kernel*c.Kernel)
+	wDensity := 1 - c.Weight.W.Sparsity(0)
+	aDensity := 1 - in.Sparsity(0)
+	cycles := macs * wDensity * aDensity / float64(m.Cfg.PEs)
+	return cycles / m.Cfg.ClockHz
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// encode simulates the on-the-fly encoding pipeline of §7.2. The encoder
+// consumes dense psums from the GLB at a fixed rate; compressed bytes become
+// available in proportion to psums consumed; completed blocks are written to
+// DRAM, which serializes at its bandwidth. The resulting write timestamps
+// are GLB-bound (panel a) or DRAM-bound (panel b) exactly as in the paper.
+func (m *Machine) encode(e *emitter, r addrRange, outBytes, psums int) {
+	if outBytes == 0 {
+		return
+	}
+	start := e.t
+	rate := m.Cfg.psumReadRate()
+	dramFree := e.t
+	for off := 0; off < outBytes; off += e.block {
+		n := e.block
+		if off+n > outBytes {
+			n = outBytes - off
+		}
+		// Psums that must be consumed before this block is complete.
+		needed := float64(psums) * float64(off+n) / float64(outBytes)
+		avail := start + needed/rate
+		issue := avail
+		if dramFree > issue {
+			issue = dramFree
+		}
+		e.tr.Accesses = append(e.tr.Accesses, trace.Access{Time: issue, Op: trace.Write, Addr: r.lo + uint64(off), Bytes: n})
+		dramFree = issue + float64(n)/e.bw
+	}
+	if dramFree > e.t {
+		e.t = dramFree
+	}
+}

@@ -1,0 +1,86 @@
+package accel
+
+import "fmt"
+
+// Energy cost constants: representative per-operation energies for a
+// 28–45 nm mobile accelerator (Eyeriss-class numbers; the exact values only
+// scale the report, the attack never reads them).
+const (
+	// EnergyPerMAC is an 8-bit multiply-accumulate in pJ.
+	EnergyPerMAC = 0.5
+	// EnergyPerGLBByte is a global-buffer SRAM access in pJ/byte.
+	EnergyPerGLBByte = 3.0
+	// EnergyPerDRAMByte is an off-chip LPDDR access in pJ/byte.
+	EnergyPerDRAMByte = 100.0
+)
+
+// Stats summarizes one inference on the simulated device.
+type Stats struct {
+	// DRAM traffic in bytes (compressed, as on the bus).
+	DRAMReadBytes, DRAMWriteBytes int
+	// EffectualMACs counts multiply-accumulates after two-sided zero
+	// skipping; DenseMACs is the count a dense accelerator would perform.
+	EffectualMACs, DenseMACs float64
+	// Latency is the end-to-end inference time in seconds.
+	Latency float64
+	// EnergyPJ breaks the energy estimate down by component, in pJ.
+	EnergyPJ EnergyBreakdown
+}
+
+// EnergyBreakdown splits the energy estimate.
+type EnergyBreakdown struct {
+	DRAM, GLB, MAC float64
+}
+
+// Total returns the summed energy in pJ.
+func (e EnergyBreakdown) Total() float64 { return e.DRAM + e.GLB + e.MAC }
+
+// Speedup returns the zero-skipping MAC reduction factor.
+func (s Stats) Speedup() float64 {
+	if s.EffectualMACs == 0 {
+		return 1
+	}
+	return s.DenseMACs / s.EffectualMACs
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("dram %d B read / %d B written, %.0f effectual MACs (%.1fx skip), %.1f us, %.1f uJ",
+		s.DRAMReadBytes, s.DRAMWriteBytes, s.EffectualMACs, s.Speedup(), s.Latency*1e6, s.EnergyPJ.Total()/1e6)
+}
+
+// LastStats returns the statistics of the most recent Run (zero value
+// before the first inference).
+func (m *Machine) LastStats() Stats { return m.stats }
+
+// accumulateCompute records a conv unit's MAC work into the running stats.
+func (m *Machine) accumulateCompute(i int) {
+	c := m.Bind.Conv[i]
+	if c == nil {
+		return
+	}
+	ps := m.Bind.PsumOut(i)
+	in := m.Bind.InputTensorOf(m.Arch, i, 0)
+	groups := c.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	dense := float64(ps.Size()) * float64(c.InC/groups) * float64(c.Kernel*c.Kernel)
+	wDensity := 1 - c.Weight.W.Sparsity(0)
+	aDensity := 1 - in.Sparsity(0)
+	m.stats.DenseMACs += dense
+	m.stats.EffectualMACs += dense * wDensity * aDensity
+}
+
+// finalizeStats computes derived quantities once a run completes.
+func (m *Machine) finalizeStats(latency float64) {
+	m.stats.Latency = latency
+	// GLB traffic approximation: every psum word is written once and read
+	// once by the encoder; activations and weights stream through once.
+	glbBytes := float64(m.stats.DRAMReadBytes+m.stats.DRAMWriteBytes) * 2
+	m.stats.EnergyPJ = EnergyBreakdown{
+		DRAM: float64(m.stats.DRAMReadBytes+m.stats.DRAMWriteBytes) * EnergyPerDRAMByte,
+		GLB:  glbBytes * EnergyPerGLBByte,
+		MAC:  m.stats.EffectualMACs * EnergyPerMAC,
+	}
+}

@@ -1,0 +1,170 @@
+// Package adv implements adversarial-example generation (FGSM and BIM) and
+// the black-box targeted transfer evaluation of §8.3: adversarial examples
+// are crafted on a surrogate model and tested against the victim, targeting
+// the victim's least-likely label — the hardest target heuristic the paper
+// adopts.
+package adv
+
+import (
+	"fmt"
+
+	"github.com/huffduff/huffduff/internal/dataset"
+	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/train"
+)
+
+// PixelScale converts the paper's ε values (quoted on a 0–255 pixel scale)
+// to our [0,1] tensors: ε=32 → 32/255.
+const PixelScale = 255.0
+
+// inputGradient returns ∂loss/∂input for a batch of one image with a
+// targeted cross-entropy loss.
+func inputGradient(net *nn.Network, img *tensor.Tensor, target int) *tensor.Tensor {
+	x := img.Clone().Reshape(1, img.Dim(0), img.Dim(1), img.Dim(2))
+	net.ZeroGrads()
+	logits := net.Forward(x, false)
+	_, grad := train.CrossEntropy(logits, []int{target})
+	return net.Backward(grad)
+}
+
+// clampAround projects x into the ε-ball around orig intersected with the
+// valid pixel range [0,1].
+func clampAround(x, orig *tensor.Tensor, eps float64) {
+	for i := range x.Data {
+		lo, hi := orig.Data[i]-eps, orig.Data[i]+eps
+		if x.Data[i] < lo {
+			x.Data[i] = lo
+		}
+		if x.Data[i] > hi {
+			x.Data[i] = hi
+		}
+		if x.Data[i] < 0 {
+			x.Data[i] = 0
+		}
+		if x.Data[i] > 1 {
+			x.Data[i] = 1
+		}
+	}
+}
+
+// FGSM crafts a one-step targeted adversarial example on the surrogate:
+// x' = clamp(x − ε·sign(∇ₓ L(x, target))).
+func FGSM(surrogate *nn.Network, img *tensor.Tensor, target int, eps float64) *tensor.Tensor {
+	g := inputGradient(surrogate, img, target)
+	adv := img.Clone()
+	for i := range adv.Data {
+		if g.Data[i] > 0 {
+			adv.Data[i] -= eps
+		} else if g.Data[i] < 0 {
+			adv.Data[i] += eps
+		}
+	}
+	clampAround(adv, img, eps)
+	return adv.Reshape(img.Shape()...)
+}
+
+// BIMConfig controls the iterative attack (Kurakin et al.).
+type BIMConfig struct {
+	Eps   float64 // total perturbation budget (on [0,1] scale)
+	Alpha float64 // per-step size
+	Steps int
+}
+
+// DefaultBIM returns the evaluation configuration for a 0–255-scale epsilon:
+// α = ε/steps keeps every step inside the budget.
+func DefaultBIM(eps255 float64) BIMConfig {
+	eps := eps255 / PixelScale
+	return BIMConfig{Eps: eps, Alpha: eps / 8, Steps: 10}
+}
+
+// BIM crafts a targeted iterative adversarial example on the surrogate.
+func BIM(surrogate *nn.Network, img *tensor.Tensor, target int, cfg BIMConfig) *tensor.Tensor {
+	adv := img.Clone()
+	for step := 0; step < cfg.Steps; step++ {
+		g := inputGradient(surrogate, adv, target)
+		for i := range adv.Data {
+			if g.Data[i] > 0 {
+				adv.Data[i] -= cfg.Alpha
+			} else if g.Data[i] < 0 {
+				adv.Data[i] += cfg.Alpha
+			}
+		}
+		clampAround(adv, img, cfg.Eps)
+	}
+	return adv
+}
+
+// Predict returns the victim's argmax class and its logits for one image.
+func Predict(net *nn.Network, img *tensor.Tensor) (int, []float64) {
+	x := img.Clone().Reshape(1, img.Dim(0), img.Dim(1), img.Dim(2))
+	logits := net.Forward(x, false)
+	k := logits.Dim(1)
+	row := append([]float64(nil), logits.Data[:k]...)
+	best, bi := row[0], 0
+	for j, v := range row {
+		if v > best {
+			best, bi = v, j
+		}
+	}
+	return bi, row
+}
+
+// LeastLikelyLabel returns the victim's lowest-logit class for an image —
+// the paper's most challenging transfer target.
+func LeastLikelyLabel(victim *nn.Network, img *tensor.Tensor) int {
+	_, logits := Predict(victim, img)
+	worst, wi := logits[0], 0
+	for j, v := range logits {
+		if v < worst {
+			worst, wi = v, j
+		}
+	}
+	return wi
+}
+
+// TransferResult summarizes a targeted transfer evaluation.
+type TransferResult struct {
+	Total     int
+	Successes int
+}
+
+// Rate returns the targeted success rate.
+func (r TransferResult) Rate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Total)
+}
+
+// EvaluateTransfer runs the §8.3 protocol: for up to n test images that the
+// victim classifies correctly, craft a BIM example on the surrogate
+// targeting the victim's least-likely label, and count how often the victim
+// then predicts exactly that label.
+func EvaluateTransfer(victim, surrogate *nn.Network, ds *dataset.Dataset, n int, cfg BIMConfig) (TransferResult, error) {
+	if n < 1 {
+		return TransferResult{}, fmt.Errorf("adv: need at least one sample")
+	}
+	var res TransferResult
+	for i := 0; i < ds.Len() && res.Total < n; i++ {
+		img, label := ds.X[i], ds.Y[i]
+		pred, _ := Predict(victim, img)
+		if pred != label {
+			continue // the paper evaluates on correctly classified inputs
+		}
+		target := LeastLikelyLabel(victim, img)
+		if target == label {
+			continue
+		}
+		adv := BIM(surrogate, img, target, cfg)
+		after, _ := Predict(victim, adv)
+		res.Total++
+		if after == target {
+			res.Successes++
+		}
+	}
+	if res.Total == 0 {
+		return res, fmt.Errorf("adv: victim classified no evaluation images correctly")
+	}
+	return res, nil
+}

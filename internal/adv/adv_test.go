@@ -1,0 +1,180 @@
+package adv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/dataset"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/train"
+)
+
+func trainedSmallNet(t *testing.T, seed int64, ds *dataset.Dataset) *nn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bind, err := models.SmallCNN().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 2
+	cfg.Seed = seed
+	train.Fit(bind.Net, ds, cfg)
+	return bind.Net
+}
+
+func TestFGSMStaysInBudgetAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bind, err := models.SmallCNN().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(3, 32, 32)
+	img.Uniform(rng, 0, 1)
+	eps := 16.0 / PixelScale
+	adv := FGSM(bind.Net, img, 3, eps)
+	if !tensor.SameShape(adv, img) {
+		t.Fatalf("shape changed: %v", adv.Shape())
+	}
+	for i := range adv.Data {
+		if adv.Data[i] < 0 || adv.Data[i] > 1 {
+			t.Fatalf("pixel %d out of range: %g", i, adv.Data[i])
+		}
+		if d := math.Abs(adv.Data[i] - img.Data[i]); d > eps+1e-12 {
+			t.Fatalf("pixel %d exceeds budget: %g > %g", i, d, eps)
+		}
+	}
+}
+
+func TestBIMStaysInBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bind, err := models.SmallCNN().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(3, 32, 32)
+	img.Uniform(rng, 0, 1)
+	cfg := DefaultBIM(32)
+	adv := BIM(bind.Net, img, 7, cfg)
+	maxd := 0.0
+	for i := range adv.Data {
+		if adv.Data[i] < 0 || adv.Data[i] > 1 {
+			t.Fatal("pixel out of range")
+		}
+		if d := math.Abs(adv.Data[i] - img.Data[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > cfg.Eps+1e-12 {
+		t.Fatalf("budget exceeded: %g > %g", maxd, cfg.Eps)
+	}
+	if maxd == 0 {
+		t.Fatal("BIM produced no perturbation")
+	}
+}
+
+func TestBIMLowersTargetLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr, _ := dataset.Synthetic(31, 200, 40, 0.05)
+	net := trainedSmallNet(t, 5, tr)
+	img := tr.X[0]
+	target := LeastLikelyLabel(net, img)
+	// The margin between the target logit and the best logit must improve;
+	// raw cross-entropy can sit in its numerical clamp when the target
+	// probability is astronomically small.
+	marginOf := func(x *tensor.Tensor) float64 {
+		_, logits := Predict(net, x)
+		best := logits[0]
+		for _, v := range logits {
+			if v > best {
+				best = v
+			}
+		}
+		return logits[target] - best
+	}
+	before := marginOf(img)
+	adv := BIM(net, img, target, DefaultBIM(32))
+	after := marginOf(adv)
+	if after <= before {
+		t.Fatalf("target margin did not improve: %g -> %g", before, after)
+	}
+}
+
+func TestWhiteBoxBIMSucceedsOften(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr, te := dataset.Synthetic(32, 300, 60, 0.05)
+	net := trainedSmallNet(t, 6, tr)
+	// White-box: surrogate == victim. With ε=32 targeted success should be
+	// substantial.
+	res, err := EvaluateTransfer(net, net, te, 25, DefaultBIM(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate() < 0.4 {
+		t.Fatalf("white-box targeted success %.2f unexpectedly low (%d/%d)", res.Rate(), res.Successes, res.Total)
+	}
+}
+
+func TestLargerEpsilonHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr, te := dataset.Synthetic(33, 300, 80, 0.05)
+	victim := trainedSmallNet(t, 7, tr)
+	surrogate := trainedSmallNet(t, 8, tr) // same arch, different seed
+	r16, err := EvaluateTransfer(victim, surrogate, te, 30, DefaultBIM(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := EvaluateTransfer(victim, surrogate, te, 30, DefaultBIM(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r32.Rate()+1e-9 < r16.Rate() {
+		t.Fatalf("success rate decreased with larger epsilon: %.2f -> %.2f", r16.Rate(), r32.Rate())
+	}
+}
+
+func TestLeastLikelyLabelDiffersFromPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bind, err := models.SmallCNN().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(3, 32, 32)
+	img.Uniform(rng, 0, 1)
+	pred, _ := Predict(bind.Net, img)
+	ll := LeastLikelyLabel(bind.Net, img)
+	if pred == ll {
+		t.Fatal("least-likely label equals the prediction")
+	}
+}
+
+func TestEvaluateTransferErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bind, _ := models.SmallCNN().Build(rng)
+	_, te := dataset.Synthetic(34, 10, 5, 0.05)
+	if _, err := EvaluateTransfer(bind.Net, bind.Net, te, 0, DefaultBIM(16)); err == nil {
+		t.Fatal("expected error for n < 1")
+	}
+}
+
+func TestDefaultBIMScaling(t *testing.T) {
+	cfg := DefaultBIM(32)
+	if math.Abs(cfg.Eps-32.0/255.0) > 1e-12 {
+		t.Fatalf("eps = %g", cfg.Eps)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > cfg.Eps {
+		t.Fatalf("alpha = %g", cfg.Alpha)
+	}
+	if cfg.Steps < 1 {
+		t.Fatal("no steps")
+	}
+}

@@ -1,0 +1,54 @@
+// Package dram models the off-chip LPDDR memories the paper evaluates
+// (JESD209-3C LPDDR3, JESD209-4D LPDDR4, JESD209-4-1A LPDDR4X) at the level
+// the timing side channel needs: sustained write bandwidth per channel
+// configuration.
+package dram
+
+import "fmt"
+
+// Spec describes one DRAM configuration.
+type Spec struct {
+	Name string
+	// MTps is the data rate in mega-transfers per second.
+	MTps int
+	// BusBytes is the channel width in bytes (x16 = 2).
+	BusBytes int
+	// Channels is the channel count (1 = single, 2 = dual).
+	Channels int
+	// Efficiency derates the peak for protocol overhead (bank conflicts,
+	// refresh, read/write turnaround).
+	Efficiency float64
+}
+
+// Bandwidth returns sustained bandwidth in bytes per second.
+func (s Spec) Bandwidth() float64 {
+	return float64(s.MTps) * 1e6 * float64(s.BusBytes) * float64(s.Channels) * s.Efficiency
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s (%d ch, %.2f GB/s)", s.Name, s.Channels, s.Bandwidth()/1e9)
+}
+
+func lp(name string, mtps, channels int) Spec {
+	return Spec{Name: name, MTps: mtps, BusBytes: 2, Channels: channels, Efficiency: 0.8}
+}
+
+// LPDDR3 returns an LPDDR3-2133 x16 spec with the given channel count.
+func LPDDR3(channels int) Spec { return lp("LPDDR3-2133", 2133, channels) }
+
+// LPDDR4 returns an LPDDR4-3200 x16 spec with the given channel count.
+func LPDDR4(channels int) Spec { return lp("LPDDR4-3200", 3200, channels) }
+
+// LPDDR4X returns an LPDDR4X-4266 x16 spec with the given channel count.
+func LPDDR4X(channels int) Spec { return lp("LPDDR4X-4266", 4266, channels) }
+
+// EvaluatedSpecs returns the six configurations of the paper's §8.2 table:
+// LPDDR3/4/4X in single- and dual-channel form, in the paper's column order.
+func EvaluatedSpecs() []Spec {
+	return []Spec{
+		LPDDR3(1), LPDDR3(2),
+		LPDDR4(1), LPDDR4(2),
+		LPDDR4X(1), LPDDR4X(2),
+	}
+}

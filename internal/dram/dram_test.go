@@ -1,0 +1,51 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBandwidthFormula(t *testing.T) {
+	s := Spec{Name: "x", MTps: 1000, BusBytes: 2, Channels: 1, Efficiency: 0.5}
+	if got := s.Bandwidth(); got != 1e9 {
+		t.Fatalf("Bandwidth = %g, want 1e9", got)
+	}
+}
+
+func TestGenerationOrdering(t *testing.T) {
+	if !(LPDDR3(1).Bandwidth() < LPDDR4(1).Bandwidth() && LPDDR4(1).Bandwidth() < LPDDR4X(1).Bandwidth()) {
+		t.Fatal("LPDDR generations must increase in bandwidth")
+	}
+}
+
+func TestDualChannelDoubles(t *testing.T) {
+	for _, mk := range []func(int) Spec{LPDDR3, LPDDR4, LPDDR4X} {
+		s, d := mk(1), mk(2)
+		if math.Abs(d.Bandwidth()-2*s.Bandwidth()) > 1e-6 {
+			t.Fatalf("%s: dual channel != 2x single", s.Name)
+		}
+	}
+}
+
+func TestEvaluatedSpecsOrder(t *testing.T) {
+	specs := EvaluatedSpecs()
+	if len(specs) != 6 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	wantNames := []string{"LPDDR3-2133", "LPDDR3-2133", "LPDDR4-3200", "LPDDR4-3200", "LPDDR4X-4266", "LPDDR4X-4266"}
+	for i, s := range specs {
+		if s.Name != wantNames[i] {
+			t.Fatalf("spec %d = %s, want %s", i, s.Name, wantNames[i])
+		}
+		wantCh := 1 + i%2
+		if s.Channels != wantCh {
+			t.Fatalf("spec %d channels = %d, want %d", i, s.Channels, wantCh)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if LPDDR4(1).String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,164 @@
+package huffduff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/symconv"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+// Config is the end-to-end attack configuration.
+type Config struct {
+	Probe    ProbeConfig
+	Finalize FinalizeConfig
+	// BlockBytes is the DRAM transaction granularity, used to correct the
+	// truncated head of the encoding interval (§7.2's "small inaccuracy").
+	BlockBytes int
+}
+
+// DefaultConfig matches the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		Probe:      DefaultProbeConfig(),
+		Finalize:   DefaultFinalizeConfig(),
+		BlockBytes: 64,
+	}
+}
+
+// Result is everything the attack recovers.
+type Result struct {
+	Graph  *ObsGraph
+	Data   *ProbeData
+	Probe  *ProbeResult
+	Dims   *SpatialDims
+	Timing *TimingResult
+	Space  *SolutionSpace
+}
+
+// Attack runs the full HuffDuff pipeline against a victim device:
+//
+//  1. one calibration inference recovers the dataflow graph, footprints,
+//     and encoding intervals from RAW dependencies (§3.2);
+//  2. the boundary-effect probing campaign recovers every conv layer's
+//     kernel/stride/pool via the symbolic engine (§5–6);
+//  3. the psum-encoding timing channel recovers output-channel ratios (§7);
+//  4. the first-layer sparsity bound pins the ratios to absolute channel
+//     counts, yielding the final candidate set (§8.2).
+func Attack(victim Victim, cfg Config) (*Result, error) {
+	fin := cfg.Finalize
+	// The solver's consistency filters and the finalizer must agree on the
+	// device model.
+	cfg.Probe.Consistency = &fin
+	cfg.Probe.BlockBytes = cfg.BlockBytes
+	// 1. Calibration.
+	rng := newRNG(cfg.Probe.Seed + 7919)
+	img := tensor.New(fin.InC, fin.InH, fin.InW)
+	img.Uniform(rng, 0.05, 0.95)
+	tr, err := victim.Run(img)
+	if err != nil {
+		return nil, fmt.Errorf("huffduff: calibration inference: %w", err)
+	}
+	segs, err := trace.Analyze(tr)
+	if err != nil {
+		return nil, err
+	}
+	g, err := BuildGraph(segs)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Probing. All collected trials inform the solve: observed patterns
+	// only get finer with more trials (§5.4's one-sided error), so the
+	// full-trial solve dominates any early-stopping variant. SameGeometry
+	// with Solve(t) for t < Trials exposes the paper's convergence-vs-T
+	// curve (§8.2) to benches and tools.
+	data, err := Collect(victim, g, fin.InC, fin.InH, fin.InW, cfg.Probe)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := data.Solve(cfg.Probe.Trials)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Timing channel.
+	dims, err := PropagateDims(g, pr, fin.InH)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := TimingChannel(g, dims, cfg.BlockBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Solution space.
+	space, err := Finalize(g, pr, dims, tm, fin)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Graph: g, Data: data, Probe: pr, Dims: dims, Timing: tm, Space: space}, nil
+}
+
+// SameGeometry reports whether two probe results agree on every conv
+// geometry and pool factor — the convergence criterion of §8.2's
+// trial-escalation loop.
+func SameGeometry(a, b *ProbeResult) bool {
+	if len(a.Geoms) != len(b.Geoms) || len(a.PoolFactors) != len(b.PoolFactors) {
+		return false
+	}
+	for id, g := range a.Geoms {
+		if b.Geoms[id] != g {
+			return false
+		}
+	}
+	for id, f := range a.PoolFactors {
+		if b.PoolFactors[id] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleSolutions draws n distinct candidates uniformly from the solution
+// space (the paper samples 8 per victim for retraining).
+func SampleSolutions(space *SolutionSpace, n int, rng *rand.Rand) []Solution {
+	if n >= len(space.Solutions) {
+		return append([]Solution(nil), space.Solutions...)
+	}
+	idx := rng.Perm(len(space.Solutions))[:n]
+	out := make([]Solution, 0, n)
+	for _, i := range idx {
+		out = append(out, space.Solutions[i])
+	}
+	return out
+}
+
+// ObservabilityRate estimates §5.2's single-probe observability: the
+// fraction of (trial, conv-layer) pairs whose observed single-trial pattern
+// already distinguishes more than one class where the true geometry says it
+// should. The paper measures 77% on random pruned kernels.
+func ObservabilityRate(data *ProbeData, pr *ProbeResult) float64 {
+	observable, total := 0, 0
+	for _, id := range data.Graph.ConvNodes() {
+		if pr.Geoms[id].Kernel == 1 {
+			continue // no boundary effect exists for pointwise layers
+		}
+		for t := 0; t < data.Cfg.Trials; t++ {
+			total++
+			// Single-trial pattern from family 0 only.
+			vals := make([]int, data.Cfg.Q)
+			for q := 0; q < data.Cfg.Q; q++ {
+				vals[q] = data.Bytes[id][0][q][t]
+			}
+			if symconv.NumClasses(symconv.ClassPattern(vals)) > 1 {
+				observable++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(observable) / float64(total)
+}

@@ -1,0 +1,130 @@
+// Package huffduff implements the paper's attack: boundary-effect probing
+// with a symbolic convolution engine (§5–6), the psum-encoding timing side
+// channel (§7), and solution-space finalization (§8.2). All victim
+// information flows through trace.Trace values — the DRAM access volumes,
+// addresses, and timestamps the threat model exposes.
+package huffduff
+
+import (
+	"fmt"
+
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+// Victim is the attacker's handle on the device: feed an input, observe the
+// DRAM trace. accel.Machine implements it; so would a real probe rig.
+type Victim interface {
+	Run(img *tensor.Tensor) (*trace.Trace, error)
+}
+
+// NodeKind classifies a recovered execution node.
+type NodeKind int
+
+// Recovered node kinds.
+const (
+	NodeInput NodeKind = iota
+	NodeConv
+	NodeAdd
+	NodePool
+	NodeLinear
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeInput:
+		return "input"
+	case NodeConv:
+		return "conv"
+	case NodeAdd:
+		return "add"
+	case NodePool:
+		return "pool"
+	case NodeLinear:
+		return "linear"
+	}
+	return "?"
+}
+
+// ObsNode is one node of the recovered dataflow graph.
+type ObsNode struct {
+	ID   int
+	Kind NodeKind
+	// Deps are producing node IDs (recovered via RAW dependencies).
+	Deps []int
+	// Footprints in bytes, as observed on the bus.
+	WeightBytes, InputBytes, OutputBytes int
+	// EncTime is the Δt between first and last output write (§7.2).
+	EncTime float64
+}
+
+// ObsGraph is the dataflow graph the attacker reconstructs from one trace.
+// Node 0 is the attacker's own input.
+type ObsGraph struct {
+	Nodes []ObsNode
+}
+
+// BuildGraph classifies trace segments into graph nodes:
+//
+//   - segment 0 (writes only) is the attacker's input DMA;
+//   - segments with weight traffic are conv passes — except the final one,
+//     which is the classifier (linear) head;
+//   - weightless segments with two producers are residual adds;
+//   - weightless segments with one producer are pooling passes.
+func BuildGraph(obs []trace.SegmentObs) (*ObsGraph, error) {
+	if len(obs) < 2 {
+		return nil, fmt.Errorf("huffduff: trace has %d segments; no layers to attack", len(obs))
+	}
+	g := &ObsGraph{}
+	for i, o := range obs {
+		n := ObsNode{
+			ID:          i,
+			Deps:        append([]int(nil), o.Deps...),
+			WeightBytes: o.WeightBytes,
+			InputBytes:  o.InputBytes,
+			OutputBytes: o.OutputBytes,
+			EncTime:     o.EncodingTime(),
+		}
+		switch {
+		case i == 0:
+			if o.InputBytes != 0 || o.WeightBytes != 0 {
+				return nil, fmt.Errorf("huffduff: segment 0 reads data; not an input DMA")
+			}
+			n.Kind = NodeInput
+		case o.WeightBytes > 0 && i == len(obs)-1:
+			n.Kind = NodeLinear
+		case o.WeightBytes > 0:
+			n.Kind = NodeConv
+		case len(o.Deps) == 2:
+			n.Kind = NodeAdd
+		case len(o.Deps) == 1:
+			n.Kind = NodePool
+		default:
+			return nil, fmt.Errorf("huffduff: segment %d unclassifiable (%d deps, no weights)", i, len(o.Deps))
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	return g, nil
+}
+
+// ConvNodes returns conv node IDs in execution order.
+func (g *ObsGraph) ConvNodes() []int {
+	var ids []int
+	for _, n := range g.Nodes {
+		if n.Kind == NodeConv {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// String renders the recovered graph.
+func (g *ObsGraph) String() string {
+	s := ""
+	for _, n := range g.Nodes {
+		s += fmt.Sprintf("%2d %-6s deps=%v W=%dB I=%dB O=%dB Δt=%.3gus\n",
+			n.ID, n.Kind, n.Deps, n.WeightBytes, n.InputBytes, n.OutputBytes, n.EncTime*1e6)
+	}
+	return s
+}

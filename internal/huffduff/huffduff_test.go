@@ -1,0 +1,419 @@
+package huffduff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/prune"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+// deployVictim builds, lightly prunes, and deploys an architecture on the
+// simulated accelerator.
+func deployVictim(t *testing.T, arch *models.Arch, keep float64) (*accel.Machine, *models.Binding) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1234))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep < 1 {
+		prune.GlobalMagnitude(bind.Net.Params(), keep)
+	}
+	m := accel.NewMachine(accel.DefaultConfig(), arch, bind)
+	return m, bind
+}
+
+func attackVictim(t *testing.T, arch *models.Arch, keep float64, cfg Config) (*Result, *models.Binding) {
+	t.Helper()
+	m, bind := deployVictim(t, arch, keep)
+	res, err := Attack(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, bind
+}
+
+func TestGraphRecoverySmallCNN(t *testing.T) {
+	arch := models.SmallCNN()
+	res, _ := attackVictim(t, arch, 1, DefaultConfig())
+	g := res.Graph
+	if len(g.Nodes) != len(arch.Units)+1 {
+		t.Fatalf("graph nodes = %d, want %d", len(g.Nodes), len(arch.Units)+1)
+	}
+	wantKinds := []NodeKind{NodeInput, NodeConv, NodeConv, NodeConv, NodeLinear}
+	for i, k := range wantKinds {
+		if g.Nodes[i].Kind != k {
+			t.Fatalf("node %d kind = %s, want %s\n%s", i, g.Nodes[i].Kind, k, g)
+		}
+	}
+}
+
+func TestProberRecoversSmallCNNGeometry(t *testing.T) {
+	arch := models.SmallCNN()
+	res, _ := attackVictim(t, arch, 1, DefaultConfig())
+	want := map[int]Geom{
+		1: {Kernel: 5, Stride: 1, Pool: 1},
+		2: {Kernel: 3, Stride: 1, Pool: 2},
+		3: {Kernel: 3, Stride: 2, Pool: 1},
+	}
+	for node, g := range want {
+		got := res.Probe.Geoms[node]
+		if got != g {
+			t.Fatalf("node %d geometry = %+v, want %+v", node, got, g)
+		}
+		if !res.Probe.Exact[node] {
+			t.Fatalf("node %d matched only by refinement", node)
+		}
+	}
+}
+
+func TestTimingChannelRecoversKRatios(t *testing.T) {
+	arch := models.SmallCNN() // true K: 8, 16, 16
+	res, _ := attackVictim(t, arch, 1, DefaultConfig())
+	wantRatios := map[int]float64{1: 1, 2: 2, 3: 2}
+	for node, want := range wantRatios {
+		got := res.Timing.KRatio[node]
+		if math.Abs(got-want)/want > 0.15 {
+			t.Fatalf("node %d k-ratio = %.3f, want ~%.1f", node, got, want)
+		}
+	}
+}
+
+func TestSolutionSpaceContainsTruth(t *testing.T) {
+	arch := models.SmallCNN() // first conv K = 8
+	res, _ := attackVictim(t, arch, 1, DefaultConfig())
+	sp := res.Space
+	if sp.K1Min > 8 || sp.K1Max < 8 {
+		t.Fatalf("true k1=8 outside recovered range [%d,%d]", sp.K1Min, sp.K1Max)
+	}
+	foundTruth := false
+	for _, sol := range sp.Solutions {
+		if sol.K1 != 8 {
+			continue
+		}
+		foundTruth = true
+		// The k1=8 candidate must reproduce the victim's conv geometry and
+		// channel counts exactly.
+		convIdx := 0
+		for _, u := range sol.Arch.Units {
+			if u.Kind != models.UnitConv {
+				continue
+			}
+			truth := arch.Units[arch.ConvUnits()[convIdx]]
+			if u.OutC != truth.OutC || u.Kernel != truth.Kernel || u.Stride != truth.Stride || u.Pool != truth.Pool {
+				t.Fatalf("candidate conv %d = %+v, truth %+v", convIdx, u, truth)
+			}
+			convIdx++
+		}
+		// Architecture must be buildable.
+		if _, err := sol.Arch.Shapes(); err != nil {
+			t.Fatalf("candidate arch invalid: %v", err)
+		}
+	}
+	if !foundTruth {
+		t.Fatal("no k1=8 candidate in solution space")
+	}
+	// The space stays small (paper: < 100).
+	if sp.Count() > 100 {
+		t.Fatalf("solution space %d too large", sp.Count())
+	}
+}
+
+func TestSolutionDensityRecovered(t *testing.T) {
+	arch := models.SmallCNN()
+	res, bind := attackVictim(t, arch, 0.4, DefaultConfig())
+	// Find the k1=8 candidate and compare recovered density with the
+	// victim's true first-layer density.
+	for _, sol := range res.Space.Solutions {
+		if sol.K1 != 8 {
+			continue
+		}
+		trueDensity := 1 - bind.Conv[0].Weight.W.Sparsity(0)
+		got := sol.Density[0]
+		if math.Abs(got-trueDensity) > 0.1 {
+			t.Fatalf("recovered density %.3f, true %.3f", got, trueDensity)
+		}
+		return
+	}
+	t.Fatal("k1=8 candidate missing")
+}
+
+func TestAttackResNetStyleGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-graph attack")
+	}
+	arch := models.ResNet18(16)
+	cfg := DefaultConfig()
+	cfg.Probe.Trials = 6
+	res, bind := attackVictim(t, arch, 0.6, cfg)
+	_ = bind
+
+	// Kinds: adds and the global pool must be classified correctly.
+	for i, u := range arch.Units {
+		node := res.Graph.Nodes[i+1]
+		switch u.Kind {
+		case models.UnitConv:
+			if node.Kind != NodeConv {
+				t.Fatalf("unit %d (%s): kind %s", i, u.Name, node.Kind)
+			}
+		case models.UnitAdd:
+			if node.Kind != NodeAdd {
+				t.Fatalf("unit %d (%s): kind %s", i, u.Name, node.Kind)
+			}
+		case models.UnitAvgPool:
+			if node.Kind != NodePool {
+				t.Fatalf("unit %d (%s): kind %s", i, u.Name, node.Kind)
+			}
+		case models.UnitLinear:
+			if node.Kind != NodeLinear {
+				t.Fatalf("unit %d (%s): kind %s", i, u.Name, node.Kind)
+			}
+		}
+	}
+
+	// Geometry recovery across all 20 convs (17 main + 3 shortcuts).
+	// Kernels and pooling must be exact everywhere. Stride *placement*
+	// within the deepest blocks (4×4/8×8 maps) is a documented blind spot:
+	// once every probe grid is pairwise distinct, (s2,s1) and (s1,s2)
+	// orderings inside a residual block predict identical partitions and
+	// identical block output dims, so they are observationally equivalent.
+	// We therefore require exact strides on all but the deepest two stages
+	// and dimension-equivalence everywhere.
+	strideMiss := 0
+	for i, u := range arch.Units {
+		if u.Kind != models.UnitConv {
+			continue
+		}
+		got := res.Probe.Geoms[i+1]
+		if got.Kernel != u.Kernel || got.Pool != u.Pool {
+			t.Fatalf("unit %d (%s): recovered %+v, true k=%d s=%d p=%d", i, u.Name, got, u.Kernel, u.Stride, u.Pool)
+		}
+		if got.Stride != u.Stride {
+			strideMiss++
+			t.Logf("stride swap at unit %d (%s): recovered s=%d, true s=%d", i, u.Name, got.Stride, u.Stride)
+		}
+	}
+	if strideMiss > 4 {
+		t.Fatalf("%d stride misses; only deep-block swaps are acceptable", strideMiss)
+	}
+	// Dimension equivalence at block boundaries: stride swaps move where
+	// the downsampling happens inside a block but must preserve every
+	// residual join and pooling input (checked by the solver); verify
+	// against ground truth.
+	shapes, err := arch.Shapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range arch.Units {
+		if u.Kind != models.UnitAdd && u.Kind != models.UnitAvgPool {
+			continue
+		}
+		if got := res.Dims.OutH[i+1]; got != shapes[i].H {
+			t.Fatalf("unit %d (%s): recovered outH %d, true %d", i, u.Name, got, shapes[i].H)
+		}
+	}
+
+	// Global pool factor.
+	for i, u := range arch.Units {
+		if u.Kind == models.UnitAvgPool {
+			if got := res.Probe.PoolFactors[i+1]; got != u.Pool {
+				t.Fatalf("pool factor %d, want %d", got, u.Pool)
+			}
+		}
+	}
+
+	// Timing channel: the measured psum-volume ratio (Δt-derived) must
+	// match the true P·Q·K ratio for every conv. Comparing volumes rather
+	// than bare k-ratios keeps the check valid at stride-swapped layers.
+	truePsumH := map[int]int{}
+	kTrue := map[int]int{}
+	for i, u := range arch.Units {
+		if u.Kind != models.UnitConv {
+			continue
+		}
+		inH := 32
+		if u.In[0] != models.InputID {
+			inH = shapes[u.In[0]].H
+		}
+		pad := (u.Kernel - 1) / 2
+		truePsumH[i+1] = (inH+2*pad-u.Kernel)/u.Stride + 1
+		kTrue[i+1] = u.OutC
+	}
+	ref := res.Timing.RefNode
+	for node, k := range kTrue {
+		wantVol := float64(k*truePsumH[node]*truePsumH[node]) / float64(kTrue[ref]*truePsumH[ref]*truePsumH[ref])
+		p := res.Dims.PsumH[node]
+		pr := res.Dims.PsumH[ref]
+		gotVol := res.Timing.KRatio[node] * float64(p*p) / float64(pr*pr)
+		if math.Abs(gotVol-wantVol)/wantVol > 0.2 {
+			t.Fatalf("node %d psum volume ratio %.3f, want %.3f", node, gotVol, wantVol)
+		}
+	}
+}
+
+// TestTrialEscalationResolvesAlias reproduces §5.4's probability
+// amplification: at a harder pruning level, few trials leave the conv3+pool2
+// layer's pattern partially observed, which the conv3+stride2 alias matches
+// exactly; enough independent trials reveal the missing distinction and flip
+// the solve to the true geometry.
+func TestTrialEscalationResolvesAlias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long amplification experiment")
+	}
+	arch := models.SmallCNN()
+	m, _ := deployVictim(t, arch, 0.5)
+	rng := rand.New(rand.NewSource(4242))
+	img := tensor.New(1, 3, 32, 32)
+	img.Uniform(rng, 0.05, 0.95)
+	tr, err := m.Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := trace.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGraph(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultProbeConfig()
+	cfg.Trials = 128
+	data, err := Collect(m, g, 3, 32, 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := data.Solve(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Geom{Kernel: 3, Stride: 1, Pool: 2}
+	if final.Geoms[2] != want {
+		t.Fatalf("node 2 at T=128: %+v, want %+v", final.Geoms[2], want)
+	}
+	// With few trials the solve may land on the alias; by T=128 it must
+	// have converged, and convergence must be monotone-stable afterwards.
+	prev, err := data.Solve(64)
+	if err == nil && SameGeometry(prev, final) {
+		t.Log("geometry already converged by T=64")
+	}
+}
+
+func TestObservabilityRate(t *testing.T) {
+	arch := models.SmallCNN()
+	res, _ := attackVictim(t, arch, 0.5, DefaultConfig())
+	rate := ObservabilityRate(res.Data, res.Probe)
+	// The paper reports ~77% for single random probes; anything clearly
+	// above chance confirms the channel works. Our pruned random-weight
+	// victims are usually near 100%.
+	if rate < 0.5 {
+		t.Fatalf("observability rate %.2f too low", rate)
+	}
+	if rate > 1 {
+		t.Fatalf("rate %.2f out of range", rate)
+	}
+}
+
+func TestSampleSolutions(t *testing.T) {
+	arch := models.SmallCNN()
+	res, _ := attackVictim(t, arch, 0.5, DefaultConfig())
+	rng := rand.New(rand.NewSource(9))
+	n := 3
+	if len(res.Space.Solutions) < n {
+		n = len(res.Space.Solutions)
+	}
+	got := SampleSolutions(res.Space, n, rng)
+	if len(got) != n {
+		t.Fatalf("sampled %d, want %d", len(got), n)
+	}
+	seen := map[int]bool{}
+	for _, s := range got {
+		if seen[s.K1] {
+			t.Fatal("duplicate sample")
+		}
+		seen[s.K1] = true
+	}
+	all := SampleSolutions(res.Space, 10000, rng)
+	if len(all) != len(res.Space.Solutions) {
+		t.Fatal("oversampling should return everything")
+	}
+}
+
+func TestDefenceBreaksNaiveProber(t *testing.T) {
+	arch := models.SmallCNN()
+	rng := rand.New(rand.NewSource(55))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accel.DefaultConfig()
+	cfg.ZeroPadProb = 0.02 // §9.2: randomly leave zeros uncompressed
+	m := accel.NewMachine(cfg, arch, bind)
+	_, err = Attack(m, DefaultConfig())
+	if err == nil {
+		t.Fatal("attack should fail against the randomized-padding defence")
+	}
+}
+
+func TestNoiseTolerantProberDefeatsWeakDefence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated-trials experiment")
+	}
+	arch := models.SmallCNN()
+	rng := rand.New(rand.NewSource(56))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := accel.DefaultConfig()
+	acfg.ZeroPadProb = 0.0005 // a weak deployment of the defence
+	m := accel.NewMachine(acfg, arch, bind)
+	cfg := DefaultConfig()
+	cfg.Probe.NoiseTolerant = true
+	cfg.Probe.Trials = 4
+	cfg.Probe.NoiseRepeats = 25
+	res, err := Attack(m, cfg)
+	if err != nil {
+		t.Fatalf("noise-tolerant attack failed: %v", err)
+	}
+	if res.Probe.Geoms[1].Kernel != 5 {
+		t.Fatalf("first-layer kernel %d, want 5", res.Probe.Geoms[1].Kernel)
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := BuildGraph(nil); err == nil {
+		t.Fatal("expected error for empty obs")
+	}
+	// Segment 0 that reads data is not an input DMA.
+	bad := []trace.SegmentObs{{Index: 0, InputBytes: 4}, {Index: 1, WeightBytes: 2}}
+	if _, err := BuildGraph(bad); err == nil {
+		t.Fatal("expected error for non-DMA segment 0")
+	}
+	// Weightless, dep-less middle segment is unclassifiable.
+	bad2 := []trace.SegmentObs{{Index: 0}, {Index: 1}, {Index: 2, WeightBytes: 1}}
+	if _, err := BuildGraph(bad2); err == nil {
+		t.Fatal("expected error for unclassifiable segment")
+	}
+}
+
+func TestWeightNNZInversion(t *testing.T) {
+	cfg := DefaultFinalizeConfig()
+	// 12 bits per entry: 100 entries = 150 bytes.
+	if got := cfg.WeightNNZ(150); got != 100 {
+		t.Fatalf("WeightNNZ = %d, want 100", got)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{NodeInput: "input", NodeConv: "conv", NodeAdd: "add", NodePool: "pool", NodeLinear: "linear"} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}

@@ -1,0 +1,681 @@
+package huffduff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/huffduff/huffduff/internal/probe"
+	"github.com/huffduff/huffduff/internal/symconv"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+// Geom is one conv layer's geometry hypothesis/recovery.
+type Geom struct {
+	Kernel, Stride, Pool int
+}
+
+// ProbeConfig controls the boundary-effect prober.
+type ProbeConfig struct {
+	// Trials is T, the number of independent random value instantiations
+	// (§5.4's probability amplification).
+	Trials int
+	// Q is the number of probe positions per family.
+	Q int
+	// Kernels/Strides/Pools span the per-layer hypothesis space.
+	Kernels, Strides, Pools []int
+	// PoolNodeFactors are the hypotheses for standalone pooling nodes.
+	PoolNodeFactors []int
+	// NoiseTolerant switches the prober into the repeated-measurement mode
+	// that §9.2 anticipates against the randomized-padding defence: each
+	// probe inference is repeated NoiseRepeats times, and probe positions
+	// are related by comparing mean transfer volumes against a noise scale
+	// estimated from the repeats. The defence's padding is additive with
+	// a content-independent distribution, so the mean volume remains
+	// strictly monotone in nnz and averaging recovers the signal.
+	NoiseTolerant bool
+	// NoiseRepeats is the per-probe repetition count in NoiseTolerant mode
+	// (0 selects the default of 25).
+	NoiseRepeats int
+	// Consistency enables the §7-based tie-breaking filters during the
+	// solve: weight-capacity bounds, transfer-header bounds, and timing-
+	// implied channel consistency. Deep layers whose boundary patterns
+	// never converge within the image width are unidentifiable from
+	// patterns alone; these filters (plus the small-kernel prior) decide
+	// them. Nil disables the filters (pattern-only matching).
+	Consistency *FinalizeConfig
+	// BlockBytes is the DRAM transaction size, for the Δt head correction.
+	BlockBytes int
+	// Seed drives probe value randomness.
+	Seed int64
+}
+
+// DefaultProbeConfig returns the configuration used in the evaluation.
+func DefaultProbeConfig() ProbeConfig {
+	fin := DefaultFinalizeConfig()
+	return ProbeConfig{
+		Trials:          32,
+		Q:               24,
+		Kernels:         []int{1, 3, 5, 7},
+		Strides:         []int{1, 2},
+		Pools:           []int{1, 2},
+		PoolNodeFactors: []int{2, 4, 8},
+		Consistency:     &fin,
+		BlockBytes:      64,
+		Seed:            1,
+	}
+}
+
+// hypotheses enumerates the per-layer geometry space in canonical order
+// (smallest kernel first — the tie-break prior for the conv3+pool2 /
+// conv5+stride2 alias).
+func (cfg ProbeConfig) hypotheses() []Geom {
+	var hs []Geom
+	for _, k := range cfg.Kernels {
+		for _, s := range cfg.Strides {
+			for _, p := range cfg.Pools {
+				if k == 1 && p > 1 {
+					// No boundary effect exists for pointwise convs, so
+					// pooling behind them is unobservable; excluded by the
+					// workload prior (pooling follows spatial convs).
+					continue
+				}
+				hs = append(hs, Geom{k, s, p})
+			}
+		}
+	}
+	return hs
+}
+
+// ProbeData is the raw measurement matrix gathered from the device:
+// output transfer volumes per graph node, probe family, probe position,
+// and random trial.
+type ProbeData struct {
+	Graph    *ObsGraph
+	Families []probe.Pattern
+	InH, InW int
+	// Bytes[node][family][probeIdx][trial]: in NoiseTolerant mode this is
+	// the rounded mean over repeats; Means holds the exact values.
+	Bytes [][][][]int
+	// Means[node][family][probeIdx][trial] (NoiseTolerant mode only).
+	Means [][][][]float64
+	// Sigma[node] is the per-node standard deviation of one measurement's
+	// defence noise, estimated from the repeats.
+	Sigma   []float64
+	Repeats int
+	Cfg     ProbeConfig
+}
+
+// Collect runs the probing campaign: Trials × families × Q inferences.
+func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*ProbeData, error) {
+	if cfg.Trials < 1 || cfg.Q < 2 {
+		return nil, fmt.Errorf("huffduff: need at least 1 trial and 2 probe positions")
+	}
+	families := []probe.Pattern{
+		{M: 0, N: 1, Q: cfg.Q, FeatRow: inH / 2},
+		{M: 0, N: 2, Q: cfg.Q, FeatRow: inH/2 - 1},
+		{M: 0, N: 1, Q: cfg.Q, FeatRow: inH / 2, FromRight: true},
+		{M: 0, N: 2, Q: cfg.Q, FeatRow: inH/2 - 1, FromRight: true},
+	}
+	for _, f := range families {
+		if err := f.Validate(inH, inW); err != nil {
+			return nil, err
+		}
+	}
+	pd := &ProbeData{Graph: g, Families: families, InH: inH, InW: inW, Cfg: cfg}
+	pd.Bytes = make([][][][]int, len(g.Nodes))
+	for n := range pd.Bytes {
+		pd.Bytes[n] = make([][][]int, len(families))
+		for f := range families {
+			pd.Bytes[n][f] = make([][]int, cfg.Q)
+			for q := range pd.Bytes[n][f] {
+				pd.Bytes[n][f][q] = make([]int, cfg.Trials)
+			}
+		}
+	}
+	pd.Repeats = 1
+	if cfg.NoiseTolerant {
+		pd.Repeats = cfg.NoiseRepeats
+		if pd.Repeats < 2 {
+			pd.Repeats = 25
+		}
+		pd.Means = make([][][][]float64, len(g.Nodes))
+		for n := range pd.Means {
+			pd.Means[n] = make([][][]float64, len(families))
+			for f := range families {
+				pd.Means[n][f] = make([][]float64, cfg.Q)
+				for q := range pd.Means[n][f] {
+					pd.Means[n][f][q] = make([]float64, cfg.Trials)
+				}
+			}
+		}
+	}
+	pd.Sigma = make([]float64, len(g.Nodes))
+	varSum := make([]float64, len(g.Nodes))
+	varCnt := 0
+	rng := newRNG(cfg.Seed)
+	runOne := func(fam probe.Pattern, vals probe.Values, q int) ([]int, error) {
+		img := probe.Image(fam, vals, q, inC, inH, inW)
+		tr, err := victim.Run(img)
+		if err != nil {
+			return nil, fmt.Errorf("huffduff: probe inference failed: %w", err)
+		}
+		obs, err := trace.Analyze(tr)
+		if err != nil {
+			return nil, err
+		}
+		if len(obs) != len(g.Nodes) {
+			return nil, fmt.Errorf("huffduff: probe trace has %d segments, calibration had %d", len(obs), len(g.Nodes))
+		}
+		out := make([]int, len(obs))
+		for n := 1; n < len(obs); n++ {
+			out[n] = obs[n].OutputBytes
+		}
+		return out, nil
+	}
+	sums := make([]float64, len(g.Nodes))
+	sqs := make([]float64, len(g.Nodes))
+	for t := 0; t < cfg.Trials; t++ {
+		for fi, fam := range families {
+			vals := probe.RandomValues(rng, fam)
+			for q := 0; q < cfg.Q; q++ {
+				for n := range sums {
+					sums[n], sqs[n] = 0, 0
+				}
+				for r := 0; r < pd.Repeats; r++ {
+					bytes, err := runOne(fam, vals, q)
+					if err != nil {
+						return nil, err
+					}
+					for n := 1; n < len(bytes); n++ {
+						b := float64(bytes[n])
+						sums[n] += b
+						sqs[n] += b * b
+					}
+				}
+				rr := float64(pd.Repeats)
+				for n := 1; n < len(g.Nodes); n++ {
+					mean := sums[n] / rr
+					pd.Bytes[n][fi][q][t] = int(mean + 0.5)
+					if pd.Means != nil {
+						pd.Means[n][fi][q][t] = mean
+					}
+					if pd.Repeats > 1 {
+						varSum[n] += sqs[n]/rr - mean*mean
+					}
+				}
+				if pd.Repeats > 1 {
+					varCnt++
+				}
+			}
+		}
+	}
+	if varCnt > 0 {
+		for n := range pd.Sigma {
+			v := varSum[n] / float64(varCnt)
+			if v > 0 {
+				pd.Sigma[n] = math.Sqrt(v)
+			}
+		}
+	}
+	return pd, nil
+}
+
+// observedPartition builds the class pattern over probe positions for one
+// node using the first `trials` trials of every family.
+func (pd *ProbeData) observedPartition(node, trials int) []int {
+	if pd.Cfg.NoiseTolerant {
+		return pd.noiseTolerantPartition(node, trials)
+	}
+	keys := make([]string, pd.Cfg.Q)
+	for q := 0; q < pd.Cfg.Q; q++ {
+		key := ""
+		for f := range pd.Families {
+			for t := 0; t < trials; t++ {
+				key += fmt.Sprintf("%d,", pd.Bytes[node][f][q][t])
+			}
+			key += ";"
+		}
+		keys[q] = key
+	}
+	return symconv.ClassPattern(keys)
+}
+
+// noiseTolerantPartition relates two probe positions when their mean
+// volumes agree within the estimated noise of an R-repeat average in a
+// majority of (family, trial) draws, then takes the transitive closure —
+// the repeated-trials counter-measure §9.2 anticipates against the
+// randomized-padding defence.
+func (pd *ProbeData) noiseTolerantPartition(node, trials int) []int {
+	q := pd.Cfg.Q
+	// Two R-averaged means differ by noise with std σ·sqrt(2/R); use a 3σ
+	// acceptance band.
+	tol := 3 * pd.Sigma[node] * math.Sqrt(2/float64(pd.Repeats))
+	parent := make([]int, q)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			agree, total := 0, 0
+			for f := range pd.Families {
+				for t := 0; t < trials; t++ {
+					total++
+					diff := pd.Means[node][f][i][t] - pd.Means[node][f][j][t]
+					if diff < 0 {
+						diff = -diff
+					}
+					if diff <= tol {
+						agree++
+					}
+				}
+			}
+			if agree*2 > total {
+				union(i, j)
+			}
+		}
+	}
+	labels := make([]int, q)
+	for i := range labels {
+		labels[i] = find(i)
+	}
+	return symconv.ClassPattern(labels)
+}
+
+// ProbeResult is the prober's output: per-node geometry.
+type ProbeResult struct {
+	// Geoms is the chosen geometry per conv node.
+	Geoms map[int]Geom
+	// Candidates lists every hypothesis that matched the observed pattern
+	// as well as the chosen one at that node, given the chosen prefix
+	// (>1 entries mean a genuine ambiguity carried into the solution
+	// space).
+	Candidates map[int][]Geom
+	// PoolFactors is the recovered factor per standalone pooling node.
+	PoolFactors map[int]int
+	// Exact[node] reports whether the chosen hypothesis matched the
+	// observation exactly (vs merely refining it).
+	Exact map[int]bool
+	// TrialsUsed is how many trials the result was computed from.
+	TrialsUsed int
+}
+
+// solver carries the state of the backtracking geometry search.
+type solver struct {
+	pd     *ProbeData
+	eng    *symconv.Engine
+	trials int
+
+	observed map[int][]int // per node, memoized observed pattern
+
+	// Per-node assignment state (indexed by node ID).
+	grids [][][]symconv.Grid // [node][family][probe]
+	geom  map[int]Geom
+	exact map[int]bool
+	cand  map[int][]Geom
+	pools map[int]int
+	outH  map[int]int
+	psumH map[int]int
+
+	firstConv int
+	failNote  string
+}
+
+func (s *solver) observedOf(node int) []int {
+	if p, ok := s.observed[node]; ok {
+		return p
+	}
+	p := s.pd.observedPartition(node, s.trials)
+	s.observed[node] = p
+	return p
+}
+
+func (s *solver) predictedPattern(gs [][]symconv.Grid) []int {
+	keys := make([]string, s.pd.Cfg.Q)
+	for q := 0; q < s.pd.Cfg.Q; q++ {
+		key := ""
+		for f := range s.pd.Families {
+			key += symconv.Signature(gs[f][q]) + "|"
+		}
+		keys[q] = key
+	}
+	return symconv.ClassPattern(keys)
+}
+
+// correctedDt rescales the observed encoding interval to cover the whole
+// layer: the first DRAM write lands only after the psums behind the first
+// block were consumed (§7.2's head inaccuracy), and the attacker knows both
+// byte quantities.
+func (s *solver) correctedDt(n ObsNode) float64 {
+	dt := n.EncTime
+	bb := s.pd.Cfg.BlockBytes
+	if bb > 0 && n.OutputBytes > bb {
+		dt = dt * float64(n.OutputBytes) / float64(n.OutputBytes-bb)
+	}
+	return dt
+}
+
+// kRatioOf returns K_node/K_firstConv implied by the timing channel under
+// the current dims assignment.
+func (s *solver) kRatioOf(node int) float64 {
+	first := s.pd.Graph.Nodes[s.firstConv]
+	n := s.pd.Graph.Nodes[node]
+	p1 := float64(s.psumH[s.firstConv])
+	pu := float64(s.psumH[node])
+	perK1 := s.correctedDt(first) / (p1 * p1)
+	perKu := s.correctedDt(n) / (pu * pu)
+	if perK1 <= 0 {
+		return 1
+	}
+	return perKu / perK1
+}
+
+// chanRatio returns the node's channel count as a multiple of k1 (and a
+// flag for the constant input-channel case).
+func (s *solver) chanRatio(node int) (ratio float64, constant int) {
+	if node == 0 {
+		return 0, s.pd.Cfg.Consistency.InC
+	}
+	n := s.pd.Graph.Nodes[node]
+	switch n.Kind {
+	case NodeConv:
+		return s.kRatioOf(node), 0
+	case NodeAdd, NodePool:
+		return s.chanRatio(n.Deps[0])
+	}
+	return 0, s.pd.Cfg.Consistency.Classes
+}
+
+func chanAt(ratio float64, constant, k1 int) float64 {
+	if constant > 0 {
+		return float64(constant)
+	}
+	k := mathRound(ratio * float64(k1))
+	if k < 1 {
+		k = 1
+	}
+	return float64(k)
+}
+
+func mathRound(x float64) int {
+	if x < 0 {
+		return int(x - 0.5)
+	}
+	return int(x + 0.5)
+}
+
+// k1Bounds derives the admissible first-layer channel range from the first
+// conv's weight footprint and the empirical first-layer sparsity bound.
+func (s *solver) k1Bounds() (int, int, bool) {
+	fin := s.pd.Cfg.Consistency
+	n := s.pd.Graph.Nodes[s.firstConv]
+	geom := s.geom[s.firstConv]
+	nnz := fin.WeightNNZ(n.WeightBytes)
+	denom := geom.Kernel * geom.Kernel * fin.InC
+	k1min := (nnz + denom - 1) / denom
+	if k1min < 1 {
+		k1min = 1
+	}
+	k1max := int(float64(nnz) / ((1 - fin.MaxFirstLayerSparsity) * float64(denom)))
+	return k1min, k1max, k1max >= k1min
+}
+
+// consistent applies the §7 tie-breaking filters to a conv or pool node
+// under the current partial assignment. It returns false when no k1 in the
+// admissible range can explain the observed weight and output footprints.
+func (s *solver) consistent(node int) bool {
+	fin := s.pd.Cfg.Consistency
+	if fin == nil {
+		return true
+	}
+	k1min, k1max, ok := s.k1Bounds()
+	if !ok {
+		s.failNote = "empty k1 range"
+		return false
+	}
+	n := s.pd.Graph.Nodes[node]
+	oh := float64(s.outH[node])
+	kr, kc := s.chanRatio(node)
+	elems := func(k1 int) float64 { return oh * oh * chanAt(kr, kc, k1) }
+	// Transfer-header bounds: bytes = ceil(n/8) + nnz·1 with nnz ∈ [0, n],
+	// so n/8 ≤ bytes ≤ 9n/8 must be satisfiable for some admissible k1.
+	b := float64(n.OutputBytes)
+	if elems(k1min)/8 > b {
+		s.failNote = fmt.Sprintf("node %d: implied output of %d×%d×k elements exceeds %d observed bytes", node, s.outH[node], s.outH[node], n.OutputBytes)
+		return false
+	}
+	if elems(k1max)*9/8 < b {
+		s.failNote = fmt.Sprintf("node %d: implied output too small for %d observed bytes", node, n.OutputBytes)
+		return false
+	}
+	if n.Kind == NodeConv {
+		// Weight-capacity bound (Eq. 10): r²·c·k ≥ observed nonzeros for
+		// the largest admissible k1.
+		g := s.geom[node]
+		cr, cc := s.chanRatio(n.Deps[0])
+		capacity := float64(g.Kernel*g.Kernel) * chanAt(cr, cc, k1max) * chanAt(kr, kc, k1max)
+		if capacity < float64(fin.WeightNNZ(n.WeightBytes)) {
+			s.failNote = fmt.Sprintf("node %d: kernel %d cannot hold %d weight nonzeros", node, g.Kernel, fin.WeightNNZ(n.WeightBytes))
+			return false
+		}
+	}
+	return true
+}
+
+// solveFrom assigns geometry to nodes[i:] by depth-first search; it returns
+// true when a fully consistent assignment exists.
+func (s *solver) solveFrom(i int) bool {
+	g := s.pd.Graph
+	if i == len(g.Nodes) {
+		return true
+	}
+	n := g.Nodes[i]
+	switch n.Kind {
+	case NodeInput:
+		gs := make([][]symconv.Grid, len(s.pd.Families))
+		for f, fam := range s.pd.Families {
+			gs[f] = s.eng.ProbeGrids(fam, s.pd.InH, s.pd.InW)
+		}
+		s.grids[n.ID] = gs
+		s.outH[0] = s.pd.InH
+		return s.solveFrom(i + 1)
+
+	case NodeConv:
+		in := s.grids[n.Deps[0]]
+		inH := s.outH[n.Deps[0]]
+		observed := s.observedOf(n.ID)
+		type scored struct {
+			g     Geom
+			exact bool
+			gs    [][]symconv.Grid
+		}
+		var exactM, refineM []scored
+		for _, h := range s.pd.Cfg.hypotheses() {
+			if inH < h.Kernel {
+				continue // kernels larger than the map are out of scope
+			}
+			pad := (h.Kernel - 1) / 2
+			p := (inH+2*pad-h.Kernel)/h.Stride + 1
+			if p < h.Pool || (h.Pool > 1 && p%h.Pool != 0) {
+				continue
+			}
+			gs := make([][]symconv.Grid, len(s.pd.Families))
+			for f := range s.pd.Families {
+				gs[f] = make([]symconv.Grid, s.pd.Cfg.Q)
+				for q := 0; q < s.pd.Cfg.Q; q++ {
+					c := s.eng.Conv(in[f][q], fmt.Sprintf("n%d_k%d_s%d", n.ID, h.Kernel, h.Stride), h.Kernel, h.Stride)
+					gs[f][q] = s.eng.MaxPool(c, h.Pool)
+				}
+			}
+			pred := s.predictedPattern(gs)
+			if !symconv.Refines(pred, observed) {
+				continue
+			}
+			m := scored{g: h, exact: symconv.SamePartition(pred, observed), gs: gs}
+			if m.exact {
+				exactM = append(exactM, m)
+			} else {
+				refineM = append(refineM, m)
+			}
+		}
+		ordered := append(exactM, refineM...)
+		if len(ordered) == 0 {
+			s.failNote = fmt.Sprintf("node %d: no geometry hypothesis consistent with observed pattern %s (defence active or hypothesis space too small)",
+				n.ID, symconv.PatternString(observed))
+			return false
+		}
+		wasFirst := s.firstConv == 0
+		if wasFirst {
+			s.firstConv = n.ID
+		}
+		for _, m := range ordered {
+			s.geom[n.ID] = m.g
+			s.exact[n.ID] = m.exact
+			s.grids[n.ID] = m.gs
+			pad := (m.g.Kernel - 1) / 2
+			p := (inH+2*pad-m.g.Kernel)/m.g.Stride + 1
+			s.psumH[n.ID] = p
+			s.outH[n.ID] = p / m.g.Pool
+			if s.consistent(n.ID) && s.solveFrom(i+1) {
+				// Record the peers that matched at the same level, the
+				// ambiguity carried into the solution space.
+				for _, peer := range ordered {
+					if peer.exact == m.exact {
+						s.cand[n.ID] = append(s.cand[n.ID], peer.g)
+					}
+				}
+				return true
+			}
+		}
+		delete(s.geom, n.ID)
+		delete(s.psumH, n.ID)
+		delete(s.outH, n.ID)
+		s.grids[n.ID] = nil
+		if wasFirst {
+			s.firstConv = 0
+		}
+		return false
+
+	case NodeAdd:
+		a, b := s.grids[n.Deps[0]], s.grids[n.Deps[1]]
+		if s.outH[n.Deps[0]] != s.outH[n.Deps[1]] {
+			s.failNote = fmt.Sprintf("node %d: residual branches have different spatial dims (%d vs %d)",
+				n.ID, s.outH[n.Deps[0]], s.outH[n.Deps[1]])
+			return false
+		}
+		gs := make([][]symconv.Grid, len(s.pd.Families))
+		for f := range s.pd.Families {
+			gs[f] = make([]symconv.Grid, s.pd.Cfg.Q)
+			for q := 0; q < s.pd.Cfg.Q; q++ {
+				gs[f][q] = s.eng.Add(a[f][q], b[f][q])
+			}
+		}
+		s.grids[n.ID] = gs
+		s.outH[n.ID] = s.outH[n.Deps[0]]
+		if ok := s.solveFrom(i + 1); ok {
+			return true
+		}
+		s.grids[n.ID] = nil
+		delete(s.outH, n.ID)
+		return false
+
+	case NodePool:
+		in := s.grids[n.Deps[0]]
+		inH := s.outH[n.Deps[0]]
+		observed := s.observedOf(n.ID)
+		factors := append([]int(nil), s.pd.Cfg.PoolNodeFactors...)
+		factors = append(factors, inH) // global pooling
+		// Descending order encodes the global-pool prior: standalone
+		// average pools before the classifier are global in the paper's
+		// workloads, and nnz saturation at the tail often leaves several
+		// factors pattern-consistent.
+		sort.Sort(sort.Reverse(sort.IntSlice(factors)))
+		for _, f := range dedupInts(factors) {
+			if f < 1 || inH%f != 0 {
+				continue
+			}
+			gs := make([][]symconv.Grid, len(s.pd.Families))
+			for fi := range s.pd.Families {
+				gs[fi] = make([]symconv.Grid, s.pd.Cfg.Q)
+				for q := 0; q < s.pd.Cfg.Q; q++ {
+					gs[fi][q] = s.eng.AvgPool(in[fi][q], f)
+				}
+			}
+			if !symconv.Refines(s.predictedPattern(gs), observed) {
+				continue
+			}
+			s.pools[n.ID] = f
+			s.grids[n.ID] = gs
+			s.outH[n.ID] = inH / f
+			if s.consistent(n.ID) && s.solveFrom(i+1) {
+				return true
+			}
+			delete(s.pools, n.ID)
+			s.grids[n.ID] = nil
+			delete(s.outH, n.ID)
+		}
+		if s.failNote == "" {
+			s.failNote = fmt.Sprintf("node %d: no pool factor consistent with observation", n.ID)
+		}
+		return false
+
+	case NodeLinear:
+		// The boundary effect ends here; nothing spatial to recover.
+		s.outH[n.ID] = 1
+		return s.solveFrom(i + 1)
+	}
+	return false
+}
+
+// Solve runs Algorithm 1 over the first `trials` trials: a backtracking
+// walk of the recovered graph that, per conv node, matches each geometry
+// hypothesis's symbolically predicted nnz pattern against the observed one
+// (keeping refinements — the one-sided error — and preferring exact
+// matches), and prunes assignments that violate residual-dimension,
+// weight-capacity, transfer-header, or timing consistency (§7).
+func (pd *ProbeData) Solve(trials int) (*ProbeResult, error) {
+	if trials < 1 || trials > pd.Cfg.Trials {
+		return nil, fmt.Errorf("huffduff: %d trials requested, %d collected", trials, pd.Cfg.Trials)
+	}
+	s := &solver{
+		pd:       pd,
+		eng:      symconv.NewEngine(),
+		trials:   trials,
+		observed: map[int][]int{},
+		grids:    make([][][]symconv.Grid, len(pd.Graph.Nodes)),
+		geom:     map[int]Geom{},
+		exact:    map[int]bool{},
+		cand:     map[int][]Geom{},
+		pools:    map[int]int{},
+		outH:     map[int]int{},
+		psumH:    map[int]int{},
+	}
+	if !s.solveFrom(0) {
+		return nil, fmt.Errorf("huffduff: no consistent geometry assignment: %s", s.failNote)
+	}
+	return &ProbeResult{
+		Geoms:       s.geom,
+		Candidates:  s.cand,
+		PoolFactors: s.pools,
+		Exact:       s.exact,
+		TrialsUsed:  trials,
+	}, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

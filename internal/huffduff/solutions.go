@@ -1,0 +1,192 @@
+package huffduff
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/huffduff/huffduff/internal/models"
+)
+
+// FinalizeConfig controls solution-space construction (§8.2).
+type FinalizeConfig struct {
+	// MaxFirstLayerSparsity is the empirical bound on first-layer weight
+	// sparsity (the paper observes it rarely exceeds 60%).
+	MaxFirstLayerSparsity float64
+	// WeightIdxBits/WeightElemBytes describe the accelerator's weight
+	// compression format so observed byte counts invert to nonzero counts.
+	WeightIdxBits, WeightElemBytes int
+	// Classes is the task's output count (known to the attacker).
+	Classes int
+	// InC/InH/InW describe the input tensor (the attacker crafts it).
+	InC, InH, InW int
+}
+
+// DefaultFinalizeConfig matches the evaluation setup.
+func DefaultFinalizeConfig() FinalizeConfig {
+	return FinalizeConfig{
+		MaxFirstLayerSparsity: 0.6,
+		WeightIdxBits:         4,
+		WeightElemBytes:       1,
+		Classes:               10,
+		InC:                   3,
+		InH:                   32,
+		InW:                   32,
+	}
+}
+
+// WeightNNZ inverts the weight codec's size model: an EIE-style format
+// spends IdxBits+8·ElemBytes bits per stored entry, so the entry count —
+// a close upper bound on the true nonzero count (padding entries are rare)
+// — follows directly from the observed byte volume.
+func (cfg FinalizeConfig) WeightNNZ(bytes int) int {
+	bitsPer := cfg.WeightIdxBits + 8*cfg.WeightElemBytes
+	return bytes * 8 / bitsPer
+}
+
+// Solution is one candidate architecture.
+type Solution struct {
+	// K1 is the first conv layer's output channel count this candidate
+	// assumes; all other channel counts follow from the timing ratios.
+	K1 int
+	// Arch is the reconstructed architecture, buildable and trainable.
+	Arch *models.Arch
+	// Density maps arch unit index → recovered weight density (1−β), the
+	// iso-footprint pruning target for retraining.
+	Density map[int]float64
+}
+
+// SolutionSpace is the finalized search space: one candidate per admissible
+// first-layer channel count (the paper's "44 and 66 solutions").
+type SolutionSpace struct {
+	K1Min, K1Max int
+	Solutions    []Solution
+	// GeomAmbiguity is the product of per-layer pattern-tie candidate
+	// counts — an *upper bound* on how many alternative geometries would
+	// also be worth testing if the solver's consistency filters and priors
+	// were distrusted. It is a diagnostic, not part of Count: most tied
+	// peers die to global consistency, and the paper's solution counts
+	// likewise cover only channel ambiguity.
+	GeomAmbiguity int
+}
+
+// Count returns the number of candidate architectures (one per admissible
+// first-layer channel count, matching the paper's accounting).
+func (s *SolutionSpace) Count() int { return len(s.Solutions) }
+
+// Finalize combines the prober's geometry, the timing channel's k-ratios,
+// and the first-layer sparsity bound into the final solution space.
+func Finalize(g *ObsGraph, pr *ProbeResult, dims *SpatialDims, tm *TimingResult, cfg FinalizeConfig) (*SolutionSpace, error) {
+	convs := g.ConvNodes()
+	if len(convs) == 0 {
+		return nil, fmt.Errorf("huffduff: nothing to finalize")
+	}
+	first := tm.RefNode
+	geom1 := pr.Geoms[first]
+	nnz1 := cfg.WeightNNZ(g.Nodes[first].WeightBytes)
+	denom := geom1.Kernel * geom1.Kernel * cfg.InC
+	k1min := (nnz1 + denom - 1) / denom
+	if k1min < 1 {
+		k1min = 1
+	}
+	k1max := int(float64(nnz1) / ((1 - cfg.MaxFirstLayerSparsity) * float64(denom)))
+	if k1max < k1min {
+		return nil, fmt.Errorf("huffduff: empty first-layer channel range [%d,%d]", k1min, k1max)
+	}
+
+	space := &SolutionSpace{K1Min: k1min, K1Max: k1max, GeomAmbiguity: 1}
+	const ambiguityCap = 1 << 30
+	for _, id := range convs {
+		if n := len(pr.Candidates[id]); n > 1 && space.GeomAmbiguity < ambiguityCap {
+			space.GeomAmbiguity *= n
+		}
+	}
+
+	for k1 := k1min; k1 <= k1max; k1++ {
+		sol, err := buildSolution(g, pr, tm, cfg, k1)
+		if err != nil {
+			// A k1 that produces an inconsistent architecture (e.g. branch
+			// channel mismatch after rounding) is not a solution.
+			continue
+		}
+		space.Solutions = append(space.Solutions, *sol)
+	}
+	if len(space.Solutions) == 0 {
+		return nil, fmt.Errorf("huffduff: no consistent candidate architectures in k1 range [%d,%d]", k1min, k1max)
+	}
+	return space, nil
+}
+
+// buildSolution reconstructs a full architecture for one k1 candidate.
+func buildSolution(g *ObsGraph, pr *ProbeResult, tm *TimingResult, cfg FinalizeConfig, k1 int) (*Solution, error) {
+	// Channel counts per node.
+	chans := map[int]int{0: cfg.InC}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeConv:
+			k := int(math.Round(float64(k1) * tm.KRatio[n.ID]))
+			if k < 1 {
+				k = 1
+			}
+			chans[n.ID] = k
+		case NodeAdd:
+			a, b := chans[n.Deps[0]], chans[n.Deps[1]]
+			if a != b {
+				return nil, fmt.Errorf("huffduff: k1=%d: add node %d branches disagree (%d vs %d)", k1, n.ID, a, b)
+			}
+			chans[n.ID] = a
+		case NodePool:
+			chans[n.ID] = chans[n.Deps[0]]
+		case NodeLinear:
+			chans[n.ID] = cfg.Classes
+		}
+	}
+
+	arch := &models.Arch{
+		Name:       fmt.Sprintf("huffduff-candidate-k1=%d", k1),
+		InC:        cfg.InC,
+		InH:        cfg.InH,
+		InW:        cfg.InW,
+		NumClasses: cfg.Classes,
+	}
+	density := map[int]float64{}
+	toUnit := func(node int) int { return node - 1 } // node 0 is the input
+	for _, n := range g.Nodes[1:] {
+		ins := make([]int, len(n.Deps))
+		for i, d := range n.Deps {
+			ins[i] = toUnit(d)
+			if d == 0 {
+				ins[i] = models.InputID
+			}
+		}
+		switch n.Kind {
+		case NodeConv:
+			geom := pr.Geoms[n.ID]
+			u := models.Unit{
+				Kind: models.UnitConv, Name: fmt.Sprintf("rec%d", n.ID), In: ins[:1],
+				OutC: chans[n.ID], Kernel: geom.Kernel, Stride: geom.Stride, Pool: geom.Pool,
+				BN: true, ReLU: true,
+			}
+			arch.Units = append(arch.Units, u)
+			inC := chans[n.Deps[0]]
+			total := chans[n.ID] * inC * geom.Kernel * geom.Kernel
+			d := float64(cfg.WeightNNZ(n.WeightBytes)) / float64(total)
+			if d > 1 {
+				d = 1
+			}
+			density[len(arch.Units)-1] = d
+		case NodeAdd:
+			arch.Units = append(arch.Units, models.Unit{
+				Kind: models.UnitAdd, Name: fmt.Sprintf("rec%d", n.ID), In: ins, ReLU: true,
+			})
+		case NodePool:
+			arch.Units = append(arch.Units, models.Unit{
+				Kind: models.UnitAvgPool, Name: fmt.Sprintf("rec%d", n.ID), In: ins[:1], Pool: pr.PoolFactors[n.ID],
+			})
+		case NodeLinear:
+			arch.Units = append(arch.Units, models.Unit{
+				Kind: models.UnitLinear, Name: fmt.Sprintf("rec%d", n.ID), In: ins[:1], OutC: cfg.Classes,
+			})
+		}
+	}
+	return &Solution{K1: k1, Arch: arch, Density: density}, nil
+}

@@ -1,0 +1,102 @@
+package huffduff
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// newRNG centralizes seeding so the attack is reproducible end to end.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SpatialDims propagates the input spatial size through the recovered
+// geometry and returns, for each node, the output H (== W, symmetric) and —
+// for conv nodes — the pre-pool psum spatial size.
+type SpatialDims struct {
+	OutH    map[int]int // per node, post-pool spatial size
+	PsumH   map[int]int // per conv node, pre-pool spatial size
+	PoolFac map[int]int
+}
+
+// PropagateDims walks the graph with the prober's recovered geometry.
+func PropagateDims(g *ObsGraph, pr *ProbeResult, inH int) (*SpatialDims, error) {
+	d := &SpatialDims{OutH: map[int]int{}, PsumH: map[int]int{}}
+	d.OutH[0] = inH
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeInput:
+		case NodeConv:
+			geom, ok := pr.Geoms[n.ID]
+			if !ok {
+				return nil, fmt.Errorf("huffduff: no geometry for conv node %d", n.ID)
+			}
+			x, ok := d.OutH[n.Deps[0]]
+			if !ok {
+				return nil, fmt.Errorf("huffduff: conv node %d input %d has no dims", n.ID, n.Deps[0])
+			}
+			pad := (geom.Kernel - 1) / 2
+			p := (x+2*pad-geom.Kernel)/geom.Stride + 1
+			d.PsumH[n.ID] = p
+			d.OutH[n.ID] = p / geom.Pool
+		case NodeAdd:
+			a, okA := d.OutH[n.Deps[0]]
+			b, okB := d.OutH[n.Deps[1]]
+			if !okA || !okB || a != b {
+				return nil, fmt.Errorf("huffduff: add node %d branch dims %d vs %d", n.ID, a, b)
+			}
+			d.OutH[n.ID] = a
+		case NodePool:
+			f, ok := pr.PoolFactors[n.ID]
+			if !ok {
+				return nil, fmt.Errorf("huffduff: no pool factor for node %d", n.ID)
+			}
+			d.OutH[n.ID] = d.OutH[n.Deps[0]] / f
+		case NodeLinear:
+			d.OutH[n.ID] = 1
+		}
+	}
+	return d, nil
+}
+
+// TimingResult carries the k-ratio recovery of §7: the encoding interval of
+// a GLB-bound layer is proportional to its dense psum count P·Q·K, so with
+// P, Q known from the prober, Δt ratios reveal K ratios.
+type TimingResult struct {
+	// KRatio maps each conv node to K_node / K_ref.
+	KRatio map[int]float64
+	// RefNode is the conv node ratios are normalized to (the first conv).
+	RefNode int
+}
+
+// TimingChannel converts observed encoding intervals into output-channel
+// ratios. blockBytes corrects for the unobservable head of the interval:
+// the first DRAM write happens after only the psums backing the first block
+// were consumed, so Δt covers (1 − block/outBytes) of the layer's encoding
+// and the attacker — who knows both byte counts — can rescale.
+func TimingChannel(g *ObsGraph, dims *SpatialDims, blockBytes int) (*TimingResult, error) {
+	convs := g.ConvNodes()
+	if len(convs) == 0 {
+		return nil, fmt.Errorf("huffduff: no conv nodes")
+	}
+	perK := map[int]float64{} // Δt per psum-spatial-element == time·rate ∝ K
+	for _, id := range convs {
+		n := g.Nodes[id]
+		p := dims.PsumH[id]
+		if p <= 0 {
+			return nil, fmt.Errorf("huffduff: conv node %d has no psum dims", id)
+		}
+		dt := n.EncTime
+		if blockBytes > 0 && n.OutputBytes > blockBytes {
+			dt = dt * float64(n.OutputBytes) / float64(n.OutputBytes-blockBytes)
+		}
+		perK[id] = dt / float64(p*p)
+	}
+	ref := convs[0]
+	if perK[ref] <= 0 {
+		return nil, fmt.Errorf("huffduff: reference conv node %d has zero encoding time", ref)
+	}
+	res := &TimingResult{KRatio: map[int]float64{}, RefNode: ref}
+	for _, id := range convs {
+		res.KRatio[id] = perK[id] / perK[ref]
+	}
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+// checkpoint is the serialized form of a model's mutable state: parameter
+// values, pruning masks, and batch-norm running statistics, in the network's
+// deterministic construction order.
+type checkpoint struct {
+	Params [][]float64
+	Masks  [][]float64 // nil entry = dense parameter
+	BNMean [][]float64
+	BNVar  [][]float64
+}
+
+// bnLayers returns the network's batch-norm layers in graph order.
+func (bd *Binding) bnLayers() []*nn.BatchNorm2D {
+	var bns []*nn.BatchNorm2D
+	for _, l := range bd.Net.Layers() {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			bns = append(bns, bn)
+		}
+	}
+	return bns
+}
+
+// SaveWeights serializes the model's trained state. The architecture itself
+// is not stored; load into a Binding built from the same Arch.
+func (bd *Binding) SaveWeights(w io.Writer) error {
+	var cp checkpoint
+	for _, p := range bd.Net.Params() {
+		cp.Params = append(cp.Params, p.W.Data)
+		if p.Mask != nil {
+			cp.Masks = append(cp.Masks, p.Mask.Data)
+		} else {
+			cp.Masks = append(cp.Masks, nil)
+		}
+	}
+	for _, bn := range bd.bnLayers() {
+		cp.BNMean = append(cp.BNMean, bn.RunningMean.Data)
+		cp.BNVar = append(cp.BNVar, bn.RunningVar.Data)
+	}
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// LoadWeights restores state saved by SaveWeights into a binding with the
+// same architecture.
+func (bd *Binding) LoadWeights(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("models: decoding checkpoint: %w", err)
+	}
+	params := bd.Net.Params()
+	if len(cp.Params) != len(params) {
+		return fmt.Errorf("models: checkpoint has %d parameters, model has %d", len(cp.Params), len(params))
+	}
+	bns := bd.bnLayers()
+	if len(cp.BNMean) != len(bns) || len(cp.BNVar) != len(bns) {
+		return fmt.Errorf("models: checkpoint has %d batch norms, model has %d", len(cp.BNMean), len(bns))
+	}
+	for i, p := range params {
+		if len(cp.Params[i]) != p.W.Size() {
+			return fmt.Errorf("models: parameter %d size %d, want %d", i, len(cp.Params[i]), p.W.Size())
+		}
+		copy(p.W.Data, cp.Params[i])
+		if cp.Masks[i] != nil {
+			if p.Mask == nil {
+				p.Mask = tensor.New(p.W.Shape()...)
+			}
+			if len(cp.Masks[i]) != p.Mask.Size() {
+				return fmt.Errorf("models: mask %d size mismatch", i)
+			}
+			copy(p.Mask.Data, cp.Masks[i])
+		} else {
+			p.Mask = nil
+		}
+	}
+	for i, bn := range bns {
+		if len(cp.BNMean[i]) != bn.RunningMean.Size() {
+			return fmt.Errorf("models: batch norm %d stat size mismatch", i)
+		}
+		copy(bn.RunningMean.Data, cp.BNMean[i])
+		copy(bn.RunningVar.Data, cp.BNVar[i])
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package models
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	arch := ResNet18(16)
+	src, err := arch.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the source distinctive state: random BN stats and a mask.
+	for _, l := range src.bnLayers() {
+		l.RunningMean.Randn(rng, 1)
+		l.RunningVar.Uniform(rng, 0.5, 2)
+	}
+	p0 := src.Net.Params()[0]
+	p0.Mask = tensor.New(p0.W.Shape()...)
+	p0.Mask.Fill(1)
+	p0.Mask.Data[0] = 0
+	p0.ApplyMask()
+
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := arch.Build(rand.New(rand.NewSource(999)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outputs must match exactly on an arbitrary input.
+	x := tensor.New(2, 3, 32, 32)
+	x.Randn(rng, 1)
+	a := src.Net.Forward(x, false)
+	b := dst.Net.Forward(x, false)
+	if !tensor.ApproxEqual(a, b, 0) {
+		t.Fatal("loaded model diverges from saved model")
+	}
+	// The mask must have survived.
+	if dst.Net.Params()[0].Mask == nil || dst.Net.Params()[0].Mask.Data[0] != 0 {
+		t.Fatal("mask not restored")
+	}
+}
+
+func TestLoadWeightsWrongArch(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a, err := SmallCNN().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ResNet18(16).Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadWeights(&buf); err == nil {
+		t.Fatal("expected error loading into a different architecture")
+	}
+}
+
+func TestLoadWeightsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	a, err := SmallCNN().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.LoadWeights(bytes.NewBufferString("not a checkpoint")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,166 @@
+package models
+
+import "fmt"
+
+// scaleC divides a channel count by scale, keeping a floor of 4 and rounding
+// to a multiple of 2 so grouped convolutions stay valid.
+func scaleC(c, scale int) int {
+	if scale <= 1 {
+		return c
+	}
+	s := c / scale
+	if s < 4 {
+		s = 4
+	}
+	if s%2 == 1 {
+		s++
+	}
+	return s
+}
+
+// VGGS returns the VGG-S victim architecture used in the paper's evaluation:
+// a VGG-16-style CIFAR network (conv5_3 is 512×512×3×3, matching the weight
+// count quoted in §4.2). scale divides all channel widths (1 = full size) so
+// tests and CPU training stay tractable.
+func VGGS(scale int) *Arch {
+	a := &Arch{Name: fmt.Sprintf("vgg-s/%d", scale), InC: 3, InH: 32, InW: 32, NumClasses: 10}
+	prev := InputID
+	stage := func(name string, outC, n int, pool bool) {
+		for i := 0; i < n; i++ {
+			p := 1
+			if pool && i == n-1 {
+				p = 2
+			}
+			a.Units = append(a.Units, Unit{
+				Kind: UnitConv, Name: fmt.Sprintf("%s_%d", name, i+1), In: []int{prev},
+				OutC: scaleC(outC, scale), Kernel: 3, Stride: 1, Pool: p, BN: true, ReLU: true,
+			})
+			prev = len(a.Units) - 1
+		}
+	}
+	stage("conv1", 64, 2, true)
+	stage("conv2", 128, 2, true)
+	stage("conv3", 256, 3, true)
+	stage("conv4", 512, 3, true)
+	stage("conv5", 512, 3, true)
+	a.Units = append(a.Units, Unit{Kind: UnitLinear, Name: "fc", In: []int{prev}, OutC: a.NumClasses})
+	return a
+}
+
+// ResNet18 returns the CIFAR-style ResNet-18 victim: 3×3 stem with 64
+// channels (the paper's first-layer k range [30,73] centres on 64), four
+// stages of two basic blocks, global average pool, and a linear classifier.
+func ResNet18(scale int) *Arch {
+	a := &Arch{Name: fmt.Sprintf("resnet18/%d", scale), InC: 3, InH: 32, InW: 32, NumClasses: 10}
+	add := func(u Unit) int {
+		a.Units = append(a.Units, u)
+		return len(a.Units) - 1
+	}
+	stem := add(Unit{Kind: UnitConv, Name: "stem", In: []int{InputID},
+		OutC: scaleC(64, scale), Kernel: 3, Stride: 1, Pool: 1, BN: true, ReLU: true})
+	prev := stem
+	inC := scaleC(64, scale)
+	basicBlock := func(name string, outC, stride int) {
+		c1 := add(Unit{Kind: UnitConv, Name: name + "a", In: []int{prev},
+			OutC: outC, Kernel: 3, Stride: stride, Pool: 1, BN: true, ReLU: true})
+		c2 := add(Unit{Kind: UnitConv, Name: name + "b", In: []int{c1},
+			OutC: outC, Kernel: 3, Stride: 1, Pool: 1, BN: true, ReLU: false})
+		shortcut := prev
+		if stride != 1 || inC != outC {
+			shortcut = add(Unit{Kind: UnitConv, Name: name + "s", In: []int{prev},
+				OutC: outC, Kernel: 1, Stride: stride, Pool: 1, BN: true, ReLU: false})
+		}
+		prev = add(Unit{Kind: UnitAdd, Name: name + "+", In: []int{c2, shortcut}, ReLU: true})
+		inC = outC
+	}
+	for i, cfg := range []struct {
+		c, s int
+	}{{64, 1}, {64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2}, {512, 1}} {
+		basicBlock(fmt.Sprintf("b%d", i+1), scaleC(cfg.c, scale), cfg.s)
+	}
+	pool := add(Unit{Kind: UnitAvgPool, Name: "gap", In: []int{prev}, Pool: 4})
+	add(Unit{Kind: UnitLinear, Name: "fc", In: []int{pool}, OutC: a.NumClasses})
+	return a
+}
+
+// AlexNet returns a CIFAR-adapted AlexNet, the prior-generation baseline the
+// paper compares VGG-S candidates against in Fig. 4.
+func AlexNet(scale int) *Arch {
+	a := &Arch{Name: fmt.Sprintf("alexnet/%d", scale), InC: 3, InH: 32, InW: 32, NumClasses: 10}
+	prev := InputID
+	conv := func(name string, outC, k, pool int) {
+		a.Units = append(a.Units, Unit{Kind: UnitConv, Name: name, In: []int{prev},
+			OutC: scaleC(outC, scale), Kernel: k, Stride: 1, Pool: pool, BN: true, ReLU: true})
+		prev = len(a.Units) - 1
+	}
+	conv("conv1", 64, 5, 2)
+	conv("conv2", 192, 5, 2)
+	conv("conv3", 384, 3, 1)
+	conv("conv4", 256, 3, 1)
+	conv("conv5", 256, 3, 2)
+	a.Units = append(a.Units, Unit{Kind: UnitLinear, Name: "fc", In: []int{prev}, OutC: a.NumClasses})
+	return a
+}
+
+// MobileNetV2 returns a CIFAR-adapted MobileNetV2 (inverted residual blocks
+// with depthwise convolutions), one of the Fig. 5/6 random-surrogate
+// baselines.
+func MobileNetV2(scale int) *Arch {
+	a := &Arch{Name: fmt.Sprintf("mobilenetv2/%d", scale), InC: 3, InH: 32, InW: 32, NumClasses: 10}
+	add := func(u Unit) int {
+		a.Units = append(a.Units, u)
+		return len(a.Units) - 1
+	}
+	prev := add(Unit{Kind: UnitConv, Name: "stem", In: []int{InputID},
+		OutC: scaleC(32, scale), Kernel: 3, Stride: 1, Pool: 1, BN: true, ReLU: true})
+	inC := scaleC(32, scale)
+	block := func(name string, outC, stride, expand int) {
+		hidden := inC * expand
+		in := prev
+		x := in
+		if expand != 1 {
+			x = add(Unit{Kind: UnitConv, Name: name + "e", In: []int{x},
+				OutC: hidden, Kernel: 1, Stride: 1, Pool: 1, BN: true, ReLU: true})
+		}
+		x = add(Unit{Kind: UnitConv, Name: name + "d", In: []int{x},
+			OutC: hidden, Kernel: 3, Stride: stride, Pool: 1, Groups: hidden, BN: true, ReLU: true})
+		x = add(Unit{Kind: UnitConv, Name: name + "p", In: []int{x},
+			OutC: outC, Kernel: 1, Stride: 1, Pool: 1, BN: true, ReLU: false})
+		if stride == 1 && inC == outC {
+			x = add(Unit{Kind: UnitAdd, Name: name + "+", In: []int{x, in}, ReLU: false})
+		}
+		prev = x
+		inC = outC
+	}
+	// (expansion, outC, repeats, stride) per the MobileNetV2 paper, CIFAR strides.
+	for i, cfg := range []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 1}, {6, 32, 3, 2}, {6, 64, 2, 2}, {6, 96, 2, 1}, {6, 160, 2, 2},
+	} {
+		for j := 0; j < cfg.n; j++ {
+			s := cfg.s
+			if j > 0 {
+				s = 1
+			}
+			block(fmt.Sprintf("ir%d_%d", i+1, j+1), scaleC(cfg.c, scale), s, cfg.t)
+		}
+	}
+	head := add(Unit{Kind: UnitConv, Name: "head", In: []int{prev},
+		OutC: scaleC(320, scale), Kernel: 1, Stride: 1, Pool: 1, BN: true, ReLU: true})
+	pool := add(Unit{Kind: UnitAvgPool, Name: "gap", In: []int{head}, Pool: 4})
+	add(Unit{Kind: UnitLinear, Name: "fc", In: []int{pool}, OutC: a.NumClasses})
+	return a
+}
+
+// SmallCNN returns a deliberately tiny sequential CNN used by tests and the
+// quickstart example: 3 conv units with mixed kernels/strides/pools plus a
+// classifier. It exercises every geometry feature the prober must recover.
+func SmallCNN() *Arch {
+	a := &Arch{Name: "smallcnn", InC: 3, InH: 32, InW: 32, NumClasses: 10}
+	a.Units = []Unit{
+		{Kind: UnitConv, Name: "c1", In: []int{InputID}, OutC: 8, Kernel: 5, Stride: 1, Pool: 1, BN: true, ReLU: true},
+		{Kind: UnitConv, Name: "c2", In: []int{0}, OutC: 16, Kernel: 3, Stride: 1, Pool: 2, BN: true, ReLU: true},
+		{Kind: UnitConv, Name: "c3", In: []int{1}, OutC: 16, Kernel: 3, Stride: 2, Pool: 1, BN: true, ReLU: true},
+		{Kind: UnitLinear, Name: "fc", In: []int{2}, OutC: 10},
+	}
+	return a
+}

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+// ReLU clamps negative values to zero. The resulting exact zeros are what
+// make activation tensors compressible — and hence what the boundary-effect
+// side channel measures.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	out := tensor.New(grad.Shape()...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}

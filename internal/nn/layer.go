@@ -1,0 +1,83 @@
+// Package nn is a from-scratch convolutional neural network library with
+// full forward and backward passes. It provides everything the HuffDuff
+// reproduction needs: inference for the accelerator simulator, training for
+// victim/candidate models, and input gradients for adversarial-example
+// generation. Only the standard library is used.
+package nn
+
+import (
+	"fmt"
+
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient and an optional pruning
+// mask. When Mask is non-nil, masked (zero) positions must stay zero; the
+// optimizer re-applies the mask after every update and the layer applies it
+// on every forward pass.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+	// Mask holds 0/1 entries with W's shape, or nil for a dense parameter.
+	Mask *tensor.Tensor
+	// Decay marks parameters subject to weight decay (conv/linear weights
+	// but not biases or batch-norm affine terms).
+	Decay bool
+}
+
+func newParam(name string, shape []int, decay bool) *Param {
+	return &Param{
+		Name:  name,
+		W:     tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+		Decay: decay,
+	}
+}
+
+// ApplyMask zeroes masked weight entries. It is a no-op for dense params.
+func (p *Param) ApplyMask() {
+	if p.Mask == nil {
+		return
+	}
+	p.W.MulInPlace(p.Mask)
+}
+
+// Sparsity returns the fraction of exactly-zero weights.
+func (p *Param) Sparsity() float64 { return p.W.Sparsity(0) }
+
+// Layer is a differentiable module. Forward must be called before Backward;
+// layers cache whatever they need from the forward pass. A layer instance
+// must appear at most once in a network.
+type Layer interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Forward computes the layer output for a batched input. train selects
+	// training-mode behaviour (e.g. batch statistics in BatchNorm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the input.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// convOut computes the output spatial size of a convolution/pool window.
+func convOut(in, kernel, stride, pad int) int {
+	out := (in+2*pad-kernel)/stride + 1
+	if out < 1 {
+		panic(fmt.Sprintf("nn: window %d stride %d pad %d does not fit input %d", kernel, stride, pad, in))
+	}
+	return out
+}
+
+// SamePad returns the padding that keeps spatial size fixed for stride 1
+// ("same" padding, the TorchVision default the paper assumes).
+func SamePad(kernel int) int { return (kernel - 1) / 2 }

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+// Linear is a fully connected layer over [N, In] inputs.
+type Linear struct {
+	In, Out int
+	Weight  *Param // [Out, In]
+	Bias    *Param // [Out]
+
+	lastX *tensor.Tensor
+}
+
+// NewLinear constructs a fully connected layer with Kaiming init.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{In: in, Out: out}
+	l.Weight = newParam("fc.weight", []int{out, in}, true)
+	l.Weight.W.KaimingInit(rng, in)
+	l.Bias = newParam("fc.bias", []int{out}, false)
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return fmt.Sprintf("fc(%d->%d)", l.In, l.Out) }
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NumDims() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s got input %v", l.Name(), x.Shape()))
+	}
+	l.Weight.ApplyMask()
+	l.lastX = x
+	// out = x · Wᵀ + b
+	out := tensor.MatMul(x, tensor.Transpose(l.Weight.W))
+	nB := x.Dim(0)
+	for n := 0; n < nB; n++ {
+		row := out.Data[n*l.Out : (n+1)*l.Out]
+		for i := range row {
+			row[i] += l.Bias.W.Data[i]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastX == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	// dW += gradᵀ · x ; dB += column sums; dX = grad · W
+	dW := tensor.MatMul(tensor.Transpose(grad), l.lastX)
+	l.Weight.Grad.AddInPlace(dW)
+	nB := grad.Dim(0)
+	for n := 0; n < nB; n++ {
+		row := grad.Data[n*l.Out : (n+1)*l.Out]
+		for i, v := range row {
+			l.Bias.Grad.Data[i] += v
+		}
+	}
+	if l.Weight.Mask != nil {
+		l.Weight.Grad.MulInPlace(l.Weight.Mask)
+	}
+	return tensor.MatMul(grad, l.Weight.W)
+}
+
+// Flatten reshapes [N,C,H,W] to [N, C*H*W].
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = append([]int(nil), x.Shape()...)
+	n := x.Dim(0)
+	return x.Clone().Reshape(n, x.Size()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic("nn: Flatten.Backward before Forward")
+	}
+	return grad.Clone().Reshape(f.lastShape...)
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+// MaxPool2D is a symmetric max pooling layer with window == stride, the
+// configuration CNNs for vision use and the one the paper's POOL factor
+// describes.
+type MaxPool2D struct {
+	Window int
+
+	lastShape []int
+	argmax    []int // flat input index chosen per output element
+}
+
+// NewMaxPool2D returns a max pooling layer with the given window/stride.
+func NewMaxPool2D(window int) *MaxPool2D {
+	if window < 1 {
+		panic(fmt.Sprintf("nn: invalid pool window %d", window))
+	}
+	return &MaxPool2D{Window: window}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%d", m.Window) }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutSize returns the pooled spatial dimensions.
+func (m *MaxPool2D) OutSize(h, w int) (int, int) { return h / m.Window, w / m.Window }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nB, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p, q := m.OutSize(h, w)
+	if p < 1 || q < 1 {
+		panic(fmt.Sprintf("nn: pool window %d does not fit input %dx%d", m.Window, h, w))
+	}
+	out := tensor.New(nB, c, p, q)
+	m.lastShape = append([]int(nil), x.Shape()...)
+	m.argmax = make([]int, out.Size())
+	oi := 0
+	for n := 0; n < nB; n++ {
+		for cc := 0; cc < c; cc++ {
+			for oy := 0; oy < p; oy++ {
+				for ox := 0; ox < q; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < m.Window; ky++ {
+						for kx := 0; kx < m.Window; kx++ {
+							iy, ix := oy*m.Window+ky, ox*m.Window+kx
+							idx := ((n*c+cc)*h+iy)*w + ix
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					m.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.argmax == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	gradX := tensor.New(m.lastShape...)
+	for oi, idx := range m.argmax {
+		gradX.Data[idx] += grad.Data[oi]
+	}
+	return gradX
+}
+
+// AvgPool2D is average pooling with window == stride. A window covering the
+// whole feature map gives global average pooling (ResNet's final pool).
+type AvgPool2D struct {
+	Window int
+
+	lastShape []int
+}
+
+// NewAvgPool2D returns an average pooling layer with the given window.
+func NewAvgPool2D(window int) *AvgPool2D {
+	if window < 1 {
+		panic(fmt.Sprintf("nn: invalid pool window %d", window))
+	}
+	return &AvgPool2D{Window: window}
+}
+
+// Name implements Layer.
+func (a *AvgPool2D) Name() string { return fmt.Sprintf("avgpool%d", a.Window) }
+
+// Params implements Layer.
+func (a *AvgPool2D) Params() []*Param { return nil }
+
+// OutSize returns the pooled spatial dimensions.
+func (a *AvgPool2D) OutSize(h, w int) (int, int) { return h / a.Window, w / a.Window }
+
+// Forward implements Layer.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	nB, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p, q := a.OutSize(h, w)
+	if p < 1 || q < 1 {
+		panic(fmt.Sprintf("nn: pool window %d does not fit input %dx%d", a.Window, h, w))
+	}
+	a.lastShape = append([]int(nil), x.Shape()...)
+	out := tensor.New(nB, c, p, q)
+	norm := 1.0 / float64(a.Window*a.Window)
+	oi := 0
+	for n := 0; n < nB; n++ {
+		for cc := 0; cc < c; cc++ {
+			for oy := 0; oy < p; oy++ {
+				for ox := 0; ox < q; ox++ {
+					s := 0.0
+					for ky := 0; ky < a.Window; ky++ {
+						for kx := 0; kx < a.Window; kx++ {
+							iy, ix := oy*a.Window+ky, ox*a.Window+kx
+							s += x.Data[((n*c+cc)*h+iy)*w+ix]
+						}
+					}
+					out.Data[oi] = s * norm
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if a.lastShape == nil {
+		panic("nn: AvgPool2D.Backward before Forward")
+	}
+	nB, c, h, w := a.lastShape[0], a.lastShape[1], a.lastShape[2], a.lastShape[3]
+	p, q := a.OutSize(h, w)
+	gradX := tensor.New(a.lastShape...)
+	norm := 1.0 / float64(a.Window*a.Window)
+	oi := 0
+	for n := 0; n < nB; n++ {
+		for cc := 0; cc < c; cc++ {
+			for oy := 0; oy < p; oy++ {
+				for ox := 0; ox < q; ox++ {
+					g := grad.Data[oi] * norm
+					oi++
+					for ky := 0; ky < a.Window; ky++ {
+						for kx := 0; kx < a.Window; kx++ {
+							iy, ix := oy*a.Window+ky, ox*a.Window+kx
+							gradX.Data[((n*c+cc)*h+iy)*w+ix] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX
+}

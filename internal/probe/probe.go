@@ -1,0 +1,136 @@
+// Package probe constructs the attacker's crafted input images: the
+// generalized probe pattern A(m,n) of §6.1 realized as 2-d images. Each
+// probe set contains Q images whose n×n "feature" patch slides one column
+// per image along the horizontal axis, starting at the left boundary, on a
+// constant background with m leading boundary-constant columns.
+package probe
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+// Pattern describes an A(m,n) probe family.
+type Pattern struct {
+	// M is the number of leading constant columns (the boundary residue of
+	// earlier layers; 0 for first-layer probes).
+	M int
+	// N is the feature edge length (the probe impulse is an N×N patch).
+	N int
+	// Q is the number of probe positions (images) in the set.
+	Q int
+	// FeatRow is the top row of the feature patch; it should keep the
+	// patch away from the top/bottom boundaries.
+	FeatRow int
+	// FromRight mirrors the family: the feature starts at the right edge
+	// and slides left, probing the opposite boundary. Mirrored families
+	// give statistically independent observations of the boundary effect,
+	// which amplifies observability per trial (§5.4).
+	FromRight bool
+}
+
+// Default returns the A(0,1) single-impulse pattern with q positions,
+// vertically centred for an H-row image.
+func Default(q, h int) Pattern {
+	return Pattern{M: 0, N: 1, Q: q, FeatRow: h / 2}
+}
+
+// FeatureCol returns the leftmost feature column of probe i in a w-wide
+// image.
+func (p Pattern) FeatureCol(i, w int) int {
+	if p.FromRight {
+		return w - p.M - p.N - i
+	}
+	return p.M + i
+}
+
+// Validate checks the pattern fits an H×W image.
+func (p Pattern) Validate(h, w int) error {
+	if p.N < 1 || p.Q < 1 || p.M < 0 {
+		return fmt.Errorf("probe: invalid pattern %+v", p)
+	}
+	if p.FeatRow < 0 || p.FeatRow+p.N > h {
+		return fmt.Errorf("probe: feature rows [%d,%d) outside height %d", p.FeatRow, p.FeatRow+p.N, h)
+	}
+	for _, i := range []int{0, p.Q - 1} {
+		fc := p.FeatureCol(i, w)
+		if fc < 0 || fc+p.N > w {
+			return fmt.Errorf("probe: feature of probe %d at columns [%d,%d) outside width %d", i, fc, fc+p.N, w)
+		}
+	}
+	return nil
+}
+
+// Values holds one random instantiation of a pattern's free values. The
+// same structural pattern is instantiated with fresh values on every
+// independent trial (§5.4's probability amplification).
+type Values struct {
+	Background float64
+	Cols       []float64   // per boundary-constant column, length M
+	Feature    [][]float64 // N×N patch values
+}
+
+// RandomValues draws an instantiation within the device's valid input range
+// [0,1]: a mid-range background, extreme column constants, and bimodal
+// extreme feature values. High contrast between feature and background
+// maximizes the chance that a boundary-effect difference survives ReLU and
+// changes the observable nnz (§5.2 notes probe values are free parameters;
+// stronger impulses amplify per-trial observability).
+func RandomValues(rng *rand.Rand, p Pattern) Values {
+	v := Values{Background: 0.35 + 0.3*rng.Float64()}
+	extreme := func() float64 {
+		if rng.Intn(2) == 0 {
+			return 0.15 * rng.Float64()
+		}
+		return 1 - 0.15*rng.Float64()
+	}
+	for j := 0; j < p.M; j++ {
+		v.Cols = append(v.Cols, extreme())
+	}
+	for y := 0; y < p.N; y++ {
+		row := make([]float64, p.N)
+		for x := 0; x < p.N; x++ {
+			row[x] = extreme()
+		}
+		v.Feature = append(v.Feature, row)
+	}
+	return v
+}
+
+// Image renders probe i of the set as a [C,H,W] tensor (the feature is
+// replicated across channels, matching the single-channel symbolic model).
+func Image(p Pattern, v Values, i, c, h, w int) *tensor.Tensor {
+	img := tensor.New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				val := v.Background
+				if !p.FromRight && x < p.M {
+					val = v.Cols[x]
+				}
+				if p.FromRight && x >= w-p.M {
+					val = v.Cols[w-1-x]
+				}
+				img.Data[(ch*h+y)*w+x] = val
+			}
+		}
+		fc := p.FeatureCol(i, w)
+		for dy := 0; dy < p.N; dy++ {
+			for dx := 0; dx < p.N; dx++ {
+				img.Data[(ch*h+p.FeatRow+dy)*w+fc+dx] = v.Feature[dy][dx]
+			}
+		}
+	}
+	return img
+}
+
+// Set renders all Q probe images for one value instantiation.
+func Set(p Pattern, v Values, c, h, w int) []*tensor.Tensor {
+	imgs := make([]*tensor.Tensor, p.Q)
+	for i := 0; i < p.Q; i++ {
+		imgs[i] = Image(p, v, i, c, h, w)
+	}
+	return imgs
+}

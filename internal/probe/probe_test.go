@@ -1,0 +1,164 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := Pattern{M: 2, N: 3, Q: 5, FeatRow: 10}
+	if err := good.Validate(32, 32); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Pattern{
+		{M: 0, N: 0, Q: 1, FeatRow: 0},   // empty feature
+		{M: 0, N: 1, Q: 0, FeatRow: 0},   // no probes
+		{M: -1, N: 1, Q: 1, FeatRow: 0},  // negative m
+		{M: 0, N: 4, Q: 1, FeatRow: 30},  // feature rows out of bounds
+		{M: 0, N: 1, Q: 40, FeatRow: 16}, // feature cols out of bounds
+	}
+	for i, p := range bad {
+		if err := p.Validate(32, 32); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestDefaultPattern(t *testing.T) {
+	p := Default(8, 32)
+	if p.M != 0 || p.N != 1 || p.Q != 8 || p.FeatRow != 16 {
+		t.Fatalf("Default = %+v", p)
+	}
+	if err := p.Validate(32, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureCol(t *testing.T) {
+	p := Pattern{M: 3, N: 1, Q: 4, FeatRow: 0}
+	if p.FeatureCol(0, 32) != 3 || p.FeatureCol(2, 32) != 5 {
+		t.Fatal("FeatureCol wrong")
+	}
+	r := Pattern{M: 2, N: 2, Q: 4, FeatRow: 0, FromRight: true}
+	if r.FeatureCol(0, 32) != 28 || r.FeatureCol(3, 32) != 25 {
+		t.Fatalf("mirrored FeatureCol wrong: %d %d", r.FeatureCol(0, 32), r.FeatureCol(3, 32))
+	}
+}
+
+func TestMirroredImageStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := Pattern{M: 2, N: 1, Q: 3, FeatRow: 10, FromRight: true}
+	v := RandomValues(rng, p)
+	img := Image(p, v, 1, 1, 32, 32)
+	// Constant columns on the right edge.
+	for y := 0; y < 32; y++ {
+		if img.At(0, y, 31) != v.Cols[0] || img.At(0, y, 30) != v.Cols[1] {
+			t.Fatal("mirrored constant columns wrong")
+		}
+	}
+	// Feature at column 32-2-1-1 = 28.
+	if img.At(0, 10, 28) != v.Feature[0][0] {
+		t.Fatal("mirrored feature misplaced")
+	}
+	if img.At(0, 0, 0) != v.Background {
+		t.Fatal("left side should be background")
+	}
+}
+
+func TestImageStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Pattern{M: 2, N: 2, Q: 3, FeatRow: 10}
+	v := RandomValues(rng, p)
+	img := Image(p, v, 1, 3, 32, 32)
+	if img.Dim(0) != 3 || img.Dim(1) != 32 || img.Dim(2) != 32 {
+		t.Fatalf("shape %v", img.Shape())
+	}
+	for ch := 0; ch < 3; ch++ {
+		// Boundary-constant columns.
+		for y := 0; y < 32; y++ {
+			if img.At(ch, y, 0) != v.Cols[0] || img.At(ch, y, 1) != v.Cols[1] {
+				t.Fatal("constant columns wrong")
+			}
+		}
+		// Feature patch at column M+i = 3.
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				if img.At(ch, 10+dy, 3+dx) != v.Feature[dy][dx] {
+					t.Fatal("feature patch misplaced")
+				}
+			}
+		}
+		// Background elsewhere.
+		if img.At(ch, 0, 20) != v.Background || img.At(ch, 31, 2) != v.Background {
+			t.Fatal("background wrong")
+		}
+	}
+}
+
+func TestImagesAcrossChannelsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Default(4, 32)
+	v := RandomValues(rng, p)
+	img := Image(p, v, 2, 3, 32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if img.At(0, y, x) != img.At(1, y, x) || img.At(1, y, x) != img.At(2, y, x) {
+				t.Fatal("channels differ")
+			}
+		}
+	}
+}
+
+func TestSetShiftsFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Default(5, 32)
+	v := RandomValues(rng, p)
+	imgs := Set(p, v, 1, 32, 32)
+	if len(imgs) != 5 {
+		t.Fatalf("set size %d", len(imgs))
+	}
+	for i, img := range imgs {
+		if img.At(0, 16, i) != v.Feature[0][0] {
+			t.Fatalf("probe %d: feature not at column %d", i, i)
+		}
+		if i > 0 && img.At(0, 16, i-1) != v.Background {
+			t.Fatalf("probe %d: stale feature at column %d", i, i-1)
+		}
+	}
+}
+
+func TestRandomValuesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Pattern{M: 3, N: 4, Q: 2, FeatRow: 8}
+	for trial := 0; trial < 50; trial++ {
+		v := RandomValues(rng, p)
+		if v.Background < 0 || v.Background > 1 {
+			t.Fatalf("background %g", v.Background)
+		}
+		if len(v.Cols) != 3 || len(v.Feature) != 4 || len(v.Feature[0]) != 4 {
+			t.Fatal("value dimensions wrong")
+		}
+		for _, c := range v.Cols {
+			if c < 0 || c > 1 {
+				t.Fatalf("col value %g", c)
+			}
+		}
+		for _, row := range v.Feature {
+			for _, f := range row {
+				if f < 0 || f > 1 {
+					t.Fatalf("feature value %g", f)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomValuesVaryAcrossTrials(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Default(2, 32)
+	v1 := RandomValues(rng, p)
+	v2 := RandomValues(rng, p)
+	if v1.Background == v2.Background && v1.Feature[0][0] == v2.Feature[0][0] {
+		t.Fatal("trials produced identical values")
+	}
+}

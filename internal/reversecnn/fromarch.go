@@ -1,0 +1,124 @@
+package reversecnn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/huffduff/huffduff/internal/models"
+)
+
+// ArchObs is the per-CONV-layer footprint view of an architecture, used to
+// size solution spaces analytically (Table 1) without training or running
+// the full-size victim.
+type ArchObs struct {
+	// Obs holds footprints for every conv unit, in element counts
+	// (dense) or nonzero counts (sparse), in arch unit order.
+	Obs []LayerObs
+	// Xs and Cs are each conv layer's input spatial size and channels.
+	Xs, Cs []int
+	// Units maps each entry back to its arch unit index.
+	Units []int
+	// MainChain lists the positions (indices into Obs) of the convs on the
+	// input→output main path, the chain ReverseCNN's recursion follows.
+	MainChain []int
+}
+
+// DensityProfile returns the weight density (1 − sparsity) of conv layer i
+// of n. Profiles model unstructured LTH pruning: early layers stay dense,
+// deep/wide layers are pruned hardest (§4.2, §8.2).
+type DensityProfile func(i, n int) float64
+
+// DenseProfile is the unpruned network (density 1 everywhere).
+func DenseProfile(i, n int) float64 { return 1 }
+
+// LTHProfile mimics a 10×-compressed lottery-ticket net: the first layer
+// keeps ~45% of weights and density decays geometrically towards ~7% in the
+// deepest (and widest, hence weight-dominating) layers, which lands the
+// whole network near the paper's 10× overall compression.
+func LTHProfile(i, n int) float64 {
+	if n <= 1 {
+		return 0.45
+	}
+	f := float64(i) / float64(n-1)
+	return 0.45 * math.Pow(0.07/0.45, f)
+}
+
+// FromArch derives footprint observations for every conv unit of an
+// architecture under the given weight-density profile and a uniform
+// post-ReLU activation density.
+func FromArch(a *models.Arch, wDensity DensityProfile, actDensity float64) (*ArchObs, error) {
+	shapes, err := a.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	if actDensity <= 0 || actDensity > 1 {
+		return nil, fmt.Errorf("reversecnn: activation density %g out of (0,1]", actDensity)
+	}
+	convs := a.ConvUnits()
+	ao := &ArchObs{}
+	inShape := func(id int) models.UnitShape {
+		if id == models.InputID {
+			return models.UnitShape{C: a.InC, H: a.InH, W: a.InW}
+		}
+		return shapes[id]
+	}
+	for li, ui := range convs {
+		u := a.Units[ui]
+		in := inShape(u.In[0])
+		out := shapes[ui]
+		weights := u.OutC * in.C * u.Kernel * u.Kernel
+		inDensity := actDensity
+		if u.In[0] == models.InputID {
+			inDensity = 1 // the attacker's input image is dense
+		}
+		ao.Obs = append(ao.Obs, LayerObs{
+			I: int(float64(in.C*in.H*in.W) * inDensity),
+			O: int(float64(out.C*out.H*out.W) * actDensity),
+			W: int(float64(weights) * wDensity(li, len(convs))),
+		})
+		ao.Xs = append(ao.Xs, in.H)
+		ao.Cs = append(ao.Cs, in.C)
+		ao.Units = append(ao.Units, ui)
+	}
+	// Main chain: walk from the input through units whose first input is
+	// the current chain head (adds and pools extend the head; shortcut
+	// convs branch off it and are skipped).
+	head := models.InputID
+	pos := map[int]int{}
+	for i, ui := range ao.Units {
+		pos[ui] = i
+	}
+	for ui, u := range a.Units {
+		onHead := false
+		for _, in := range u.In {
+			if in == head {
+				onHead = true
+			}
+		}
+		if !onHead {
+			continue
+		}
+		switch u.Kind {
+		case models.UnitConv:
+			if u.In[0] == head {
+				ao.MainChain = append(ao.MainChain, pos[ui])
+				head = ui
+			}
+		case models.UnitAdd, models.UnitAvgPool:
+			head = ui
+		case models.UnitLinear:
+			head = ui
+		}
+	}
+	return ao, nil
+}
+
+// ChainObs extracts the main-chain observations in order, for SolveDense.
+func (ao *ArchObs) ChainObs() (obs []LayerObs, xs, cs []int) {
+	for _, i := range ao.MainChain {
+		obs = append(obs, ao.Obs[i])
+		xs = append(xs, ao.Xs[i])
+		cs = append(cs, ao.Cs[i])
+	}
+	return obs, xs, cs
+}

@@ -1,0 +1,57 @@
+package reversecnn
+
+import (
+	"fmt"
+
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+// FromTrace extracts the per-layer element-count observations ReverseCNN
+// needs from a *dense* accelerator's DRAM trace: with uncompressed transfers
+// every byte count divides exactly by the element width, recovering tensor
+// sizes (Eqs. 1–3). The final weighted segment (the classifier) is skipped,
+// as is the attacker's own input DMA.
+//
+// On a sparse accelerator's trace the same division yields nonzero counts
+// rather than tensor sizes, Eq. 1's equality fails, and the solver
+// collapses — the Table 1 story, reproducible end to end.
+func FromTrace(obs []trace.SegmentObs, elemBytes int) ([]LayerObs, error) {
+	if elemBytes < 1 {
+		return nil, fmt.Errorf("reversecnn: invalid element width %d", elemBytes)
+	}
+	if len(obs) < 3 {
+		return nil, fmt.Errorf("reversecnn: trace has %d segments; nothing to attack", len(obs))
+	}
+	var out []LayerObs
+	for _, o := range obs[1 : len(obs)-1] {
+		if o.WeightBytes == 0 {
+			// Pooling or elementwise segments carry no geometry equations
+			// of their own in ReverseCNN's formulation.
+			continue
+		}
+		out = append(out, LayerObs{
+			I: o.InputBytes / elemBytes,
+			O: o.OutputBytes / elemBytes,
+			W: o.WeightBytes / elemBytes,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("reversecnn: no conv segments in trace")
+	}
+	return out, nil
+}
+
+// AttackTrace runs the full ReverseCNN pipeline on a captured trace: segment
+// the accesses, recover footprints, and solve the constraint system for a
+// victim with known input geometry (the attacker crafts the inputs).
+func AttackTrace(tr *trace.Trace, x0, c0, elemBytes int, sp Space, limit int) ([][]Geom, error) {
+	obs, err := trace.Analyze(tr)
+	if err != nil {
+		return nil, err
+	}
+	layerObs, err := FromTrace(obs, elemBytes)
+	if err != nil {
+		return nil, err
+	}
+	return SolveDense(layerObs, x0, c0, sp, limit)
+}

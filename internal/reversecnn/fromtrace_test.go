@@ -1,0 +1,112 @@
+package reversecnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+func runVictim(t *testing.T, cfg accel.Config) *trace.Trace {
+	t.Helper()
+	arch := models.SmallCNN()
+	rng := rand.New(rand.NewSource(17))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := accel.NewMachine(cfg, arch, bind)
+	img := tensor.New(arch.InC, arch.InH, arch.InW)
+	img.Uniform(rng, 0, 1)
+	tr, err := m.Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// The prior attack must fully succeed against a dense accelerator: the
+// victim's exact geometry appears among a handful of solutions.
+func TestAttackTraceDenseAccelerator(t *testing.T) {
+	tr := runVictim(t, accel.DenseConfig())
+	sols, err := AttackTrace(tr, 32, 3, 1, DefaultSpace(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) == 0 {
+		t.Fatal("ReverseCNN found no solutions on a dense accelerator")
+	}
+	if len(sols) > 32 {
+		t.Fatalf("dense solution count %d; expected a handful", len(sols))
+	}
+	truth := []Geom{
+		{R: 5, Stride: 1, Pool: 1, K: 8},
+		{R: 3, Stride: 1, Pool: 2, K: 16},
+		{R: 3, Stride: 2, Pool: 1, K: 16},
+	}
+	found := false
+	for _, s := range sols {
+		ok := len(s) == len(truth)
+		for i := range truth {
+			if !ok || s[i] != truth[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim geometry not among the %d dense solutions", len(sols))
+	}
+}
+
+// Against the sparse accelerator the same attack collapses: compressed
+// transfers no longer satisfy Eq. 1 and the solver finds nothing — the
+// failure mode that motivates HuffDuff (Table 1).
+func TestAttackTraceSparseAcceleratorFails(t *testing.T) {
+	tr := runVictim(t, accel.DefaultConfig())
+	sols, err := AttackTrace(tr, 32, 3, 1, DefaultSpace(), 0)
+	if err != nil {
+		return // segmentation anomalies also count as failure
+	}
+	for _, s := range sols {
+		if len(s) == 3 && s[0] == (Geom{R: 5, Stride: 1, Pool: 1, K: 8}) {
+			t.Fatal("ReverseCNN should not recover the victim from a sparse trace")
+		}
+	}
+}
+
+func TestFromTraceErrors(t *testing.T) {
+	if _, err := FromTrace(nil, 0); err == nil {
+		t.Fatal("expected element-width error")
+	}
+	if _, err := FromTrace([]trace.SegmentObs{{}, {}}, 1); err == nil {
+		t.Fatal("expected too-few-segments error")
+	}
+	// Only weightless middle segments -> no conv observations.
+	segs := []trace.SegmentObs{{}, {InputBytes: 8, OutputBytes: 8}, {WeightBytes: 4}}
+	if _, err := FromTrace(segs, 1); err == nil {
+		t.Fatal("expected no-conv-segments error")
+	}
+}
+
+func TestFromTraceSkipsPoolingSegments(t *testing.T) {
+	segs := []trace.SegmentObs{
+		{}, // input DMA
+		{WeightBytes: 27, InputBytes: 100, OutputBytes: 50}, // conv
+		{InputBytes: 50, OutputBytes: 25},                   // pool (no weights)
+		{WeightBytes: 10, InputBytes: 25, OutputBytes: 10},  // classifier (skipped as last)
+	}
+	obs, err := FromTrace(segs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].W != 27 {
+		t.Fatalf("obs = %+v", obs)
+	}
+}

@@ -1,0 +1,197 @@
+// Package reversecnn implements the prior attack the paper compares against
+// (§3, ReverseCNN, Hua et al. DAC'18): an analytical constraint solver that
+// recovers dense CNN geometry from exact DRAM footprints — plus its naïve
+// extension to sparse accelerators (§4.2), whose solution space explodes to
+// astronomically many candidates (Table 1).
+package reversecnn
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// LayerObs is the attacker's per-CONV-layer footprint observation, in
+// elements. For a dense accelerator these are exact tensor sizes (Eqs. 1–3);
+// for a sparse accelerator they are the nonzero counts, which only lower-
+// bound the dimensions (Eqs. 8–10).
+type LayerObs struct {
+	I int // input activation footprint
+	O int // output activation footprint
+	W int // weight footprint
+}
+
+// Space is the hypothesis space for per-layer geometry, shared with the
+// HuffDuff prober for comparability.
+type Space struct {
+	Kernels []int
+	Strides []int
+	Pools   []int
+}
+
+// DefaultSpace covers the geometries of CNNs for vision (§3.2's symmetric
+// assumptions).
+func DefaultSpace() Space {
+	return Space{Kernels: []int{1, 3, 5, 7}, Strides: []int{1, 2}, Pools: []int{1, 2}}
+}
+
+// Geom is one layer's recovered geometry.
+type Geom struct {
+	R      int // kernel size (r = s)
+	Stride int
+	Pool   int
+	K      int // output channels
+}
+
+// outSpatial returns the post-conv spatial size under "same" padding.
+func outSpatial(x, r, stride int) int {
+	pad := (r - 1) / 2
+	return (x+2*pad-r)/stride + 1
+}
+
+// layerSolutions enumerates geometries consistent with exact dense
+// footprints for one layer with known input spatial size x and channels c.
+func layerSolutions(obs LayerObs, x, c int, sp Space) []Geom {
+	var out []Geom
+	if obs.I != x*x*c {
+		// Inconsistent input footprint: no solutions (the caller's branch
+		// dies, mirroring the recursive elimination in §3.2).
+		return nil
+	}
+	for _, r := range sp.Kernels {
+		if obs.W%(r*r*c) != 0 {
+			continue
+		}
+		k := obs.W / (r * r * c)
+		if k < 1 {
+			continue
+		}
+		for _, stride := range sp.Strides {
+			p := outSpatial(x, r, stride)
+			if p < 1 {
+				continue
+			}
+			for _, pool := range sp.Pools {
+				if r == 1 && pool > 1 {
+					continue // pooling follows spatial convs (shared prior)
+				}
+				if p%pool != 0 {
+					continue
+				}
+				po := p / pool
+				if po*po*k == obs.O {
+					out = append(out, Geom{R: r, Stride: stride, Pool: pool, K: k})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SolveDense recursively solves the whole network (Eq. 7 propagation):
+// layer l+1's input spatial size and channel count follow from each layer-l
+// candidate. It returns every full-network solution, up to limit (0 = no
+// limit).
+func SolveDense(obs []LayerObs, x0, c0 int, sp Space, limit int) ([][]Geom, error) {
+	if x0 < 1 || c0 < 1 {
+		return nil, fmt.Errorf("reversecnn: invalid input geometry %dx%d", x0, c0)
+	}
+	var solutions [][]Geom
+	var rec func(layer, x, c int, acc []Geom) bool
+	rec = func(layer, x, c int, acc []Geom) bool {
+		if layer == len(obs) {
+			solutions = append(solutions, append([]Geom(nil), acc...))
+			return limit > 0 && len(solutions) >= limit
+		}
+		for _, g := range layerSolutions(obs[layer], x, c, sp) {
+			nx := outSpatial(x, g.R, g.Stride) / g.Pool
+			if rec(layer+1, nx, g.K, append(acc, g)) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0, x0, c0, nil)
+	return solutions, nil
+}
+
+// CountDense returns the number of full-network dense solutions (Table 1's
+// dense row).
+func CountDense(obs []LayerObs, x0, c0 int, sp Space) (int, error) {
+	sols, err := SolveDense(obs, x0, c0, sp, 0)
+	if err != nil {
+		return 0, err
+	}
+	return len(sols), nil
+}
+
+// SparseCount computes the size of the naïve sparse solution space (§4.2):
+// per layer, every geometry hypothesis contributes the number of output-
+// channel counts k admitted by Eqs. 10–11,
+//
+//	W_nnz ≤ r·s·c·k   and   r·s·c·k ≤ W_nnz / (1−α),
+//
+// and the per-layer counts multiply across the network. alpha is the assumed
+// upper bound on weight sparsity (the paper uses α = 0.999 for 10×-pruned
+// nets whose sparsest layers approach 99.9%). cs gives each layer's input
+// channel count; using the true values makes this a *lower* bound on the
+// attacker's actual space, which is the conservative direction for Table 1.
+// xs gives each layer's input spatial size.
+func SparseCount(obs []LayerObs, xs, cs []int, alpha float64, sp Space) (*big.Int, error) {
+	if len(obs) != len(cs) || len(obs) != len(xs) {
+		return nil, fmt.Errorf("reversecnn: %d observations, %d channel counts, %d spatial sizes", len(obs), len(cs), len(xs))
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("reversecnn: alpha %g out of (0,1)", alpha)
+	}
+	total := big.NewInt(1)
+	for l, ob := range obs {
+		c := cs[l]
+		x := xs[l]
+		layerCount := big.NewInt(0)
+		for _, r := range sp.Kernels {
+			denom := r * r * c
+			kmin := (ob.W + denom - 1) / denom // ceil(W/(r²c)): Eq. 10
+			if kmin < 1 {
+				kmin = 1
+			}
+			kmax := int(float64(ob.W) / (1 - alpha) / float64(denom)) // Eq. 11
+			if kmax < kmin {
+				continue
+			}
+			for _, stride := range sp.Strides {
+				p := outSpatial(x, r, stride)
+				if p < 1 {
+					continue
+				}
+				for _, pool := range sp.Pools {
+					if r == 1 && pool > 1 {
+						continue
+					}
+					if p%pool != 0 {
+						continue
+					}
+					po := p / pool
+					// Eq. 9 lower-bounds k by the observed output nnz.
+					km := kmin
+					if need := (ob.O + po*po - 1) / (po * po); need > km {
+						km = need
+					}
+					if kmax >= km {
+						layerCount.Add(layerCount, big.NewInt(int64(kmax-km+1)))
+					}
+				}
+			}
+		}
+		if layerCount.Sign() == 0 {
+			return nil, fmt.Errorf("reversecnn: layer %d admits no solutions", l)
+		}
+		total.Mul(total, layerCount)
+	}
+	return total, nil
+}
+
+// OrdersOfMagnitude returns log10 of a big count, for reporting solution-
+// space sizes the way the paper does ("4×10⁹⁶").
+func OrdersOfMagnitude(n *big.Int) int {
+	return len(n.Text(10)) - 1
+}

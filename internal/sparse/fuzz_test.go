@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// bytesToVec decodes fuzz input into a float64 payload with a controlled
+// zero fraction (byte 0 selects density; subsequent bytes become values).
+func bytesToVec(data []byte) []float64 {
+	if len(data) < 2 {
+		return nil
+	}
+	density := int(data[0])%10 + 1 // 1..10 of 10
+	vals := make([]float64, 0, len(data)-1)
+	for i, b := range data[1:] {
+		if (i+int(b))%10 < density {
+			v := float64(b) - 127.5
+			if v == 0 {
+				v = 1
+			}
+			vals = append(vals, v)
+		} else {
+			vals = append(vals, 0)
+		}
+	}
+	return vals
+}
+
+func FuzzCodecsRoundTrip(f *testing.F) {
+	f.Add([]byte{5, 1, 2, 3, 0, 0, 200, 9})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{255}, 100))
+	var seed []byte
+	for i := 0; i < 64; i++ {
+		seed = append(seed, byte(i*37))
+	}
+	f.Add(seed)
+	codecs := []Codec{
+		Bitmap{ElemBytes: 1},
+		RLE{ElemBytes: 1, RunBits: 4},
+		CSC{ElemBytes: 2, IndexBits: 3},
+		Dense{ElemBytes: 1},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := bytesToVec(data)
+		if len(vals) == 0 {
+			return
+		}
+		for _, c := range codecs {
+			e := c.Encode(vals)
+			if e.Bytes != c.Size(vals) {
+				t.Fatalf("%s: Size disagrees with Encode", c.Name())
+			}
+			if e.Bytes < 0 {
+				t.Fatalf("%s: negative size", c.Name())
+			}
+			got := e.Decode()
+			if len(got) != len(vals) {
+				t.Fatalf("%s: length changed", c.Name())
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("%s: value %d mismatch", c.Name(), i)
+				}
+			}
+		}
+	})
+}
+
+func FuzzQuantizeStable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		vals := make([]float64, 0, len(data)/8)
+		for i := 0; i+8 <= len(data); i += 8 {
+			u := binary.LittleEndian.Uint64(data[i:])
+			v := math.Float64frombits(u)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals = append(vals, v)
+		}
+		q := Quantize(vals, 8, 0.5)
+		for i, v := range q {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("quantize produced non-finite value at %d", i)
+			}
+			if vals[i] == 0 && v != 0 {
+				t.Fatal("quantize moved an exact zero")
+			}
+		}
+		// Idempotence: quantizing a quantized vector is a no-op.
+		q2 := Quantize(q, 8, 0.5)
+		for i := range q {
+			if q[i] != q2[i] {
+				t.Fatalf("quantize not idempotent at %d: %g vs %g", i, q[i], q2[i])
+			}
+		}
+	})
+}

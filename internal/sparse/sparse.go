@@ -1,0 +1,279 @@
+// Package sparse implements the compressed tensor formats a sparse
+// accelerator uses when moving weights and activations over the DRAM bus.
+//
+// The attack never looks at tensor contents, only at the *size in bytes* of
+// each compressed transfer. Each codec therefore provides both a real
+// round-trip encoder (so the simulator is honest) and an exact size model.
+// All provided codecs are lossless for the values they carry and their
+// compressed size is strictly monotone in the number of nonzeros for a fixed
+// element count, which is the property the boundary-effect channel relies on.
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Codec compresses a flat tensor payload.
+type Codec interface {
+	// Name identifies the format (for traces and reports).
+	Name() string
+	// Encode compresses values. The result retains enough information to
+	// reconstruct the input exactly via Decode.
+	Encode(values []float64) *Encoded
+	// Size returns the compressed size in bytes without materializing the
+	// encoding. Size(v) == Encode(v).Bytes for all inputs.
+	Size(values []float64) int
+}
+
+// Encoded is a compressed payload together with its modeled wire size.
+type Encoded struct {
+	Format string
+	N      int // original element count
+	NNZ    int
+	Bytes  int // modeled size on the DRAM bus
+
+	// Internal representation for Decode.
+	idx  []int
+	vals []float64
+}
+
+// Decode reconstructs the original values.
+func (e *Encoded) Decode() []float64 {
+	out := make([]float64, e.N)
+	for i, ix := range e.idx {
+		out[ix] = e.vals[i]
+	}
+	return out
+}
+
+func gather(values []float64) (idx []int, vals []float64) {
+	for i, v := range values {
+		if v != 0 {
+			idx = append(idx, i)
+			vals = append(vals, v)
+		}
+	}
+	return idx, vals
+}
+
+// Bitmap is a bitmap-plus-packed-values format: one presence bit per element
+// followed by the nonzero values at ElemBytes each. This is the style used by
+// SparTen and (conceptually) Eyeriss v2 for activations.
+type Bitmap struct {
+	ElemBytes int
+}
+
+// Name implements Codec.
+func (b Bitmap) Name() string { return fmt.Sprintf("bitmap%d", b.ElemBytes) }
+
+// Size implements Codec: ceil(n/8) bitmap bytes + nnz*ElemBytes.
+func (b Bitmap) Size(values []float64) int {
+	nnz := 0
+	for _, v := range values {
+		if v != 0 {
+			nnz++
+		}
+	}
+	return b.sizeFor(len(values), nnz)
+}
+
+func (b Bitmap) sizeFor(n, nnz int) int {
+	return (n+7)/8 + nnz*b.ElemBytes
+}
+
+// SizeFor returns the modeled size for a payload with n elements of which
+// nnz are nonzero, without needing the data itself.
+func (b Bitmap) SizeFor(n, nnz int) int { return b.sizeFor(n, nnz) }
+
+// Encode implements Codec.
+func (b Bitmap) Encode(values []float64) *Encoded {
+	idx, vals := gather(values)
+	return &Encoded{
+		Format: b.Name(),
+		N:      len(values),
+		NNZ:    len(vals),
+		Bytes:  b.sizeFor(len(values), len(vals)),
+		idx:    idx,
+		vals:   vals,
+	}
+}
+
+// RLE is an Eyeriss-style run-length encoding: each nonzero is stored as a
+// (zero-run, value) pair where the run field has RunBits bits. Runs longer
+// than the field's maximum insert an explicit zero element, exactly like the
+// RLC scheme in Eyeriss.
+type RLE struct {
+	ElemBytes int
+	RunBits   int
+}
+
+// Name implements Codec.
+func (r RLE) Name() string { return fmt.Sprintf("rle%d_%d", r.ElemBytes, r.RunBits) }
+
+func (r RLE) maxRun() int { return 1<<r.RunBits - 1 }
+
+// entries returns the number of (run, value) pairs needed, counting the
+// explicit zeros inserted for overlong runs and the terminator for a
+// trailing zero run.
+func (r RLE) entries(values []float64) int {
+	maxRun := r.maxRun()
+	entries := 0
+	run := 0
+	for _, v := range values {
+		if v == 0 {
+			run++
+			if run == maxRun {
+				entries++ // explicit zero with a saturated run field
+				run = 0
+			}
+			continue
+		}
+		entries++
+		run = 0
+	}
+	if run > 0 {
+		entries++ // trailing zero-run terminator
+	}
+	return entries
+}
+
+// Size implements Codec. Each entry costs RunBits + 8*ElemBytes bits,
+// rounded up to whole bytes over the payload.
+func (r RLE) Size(values []float64) int {
+	bits := r.entries(values) * (r.RunBits + 8*r.ElemBytes)
+	return (bits + 7) / 8
+}
+
+// Encode implements Codec.
+func (r RLE) Encode(values []float64) *Encoded {
+	idx, vals := gather(values)
+	return &Encoded{
+		Format: r.Name(),
+		N:      len(values),
+		NNZ:    len(vals),
+		Bytes:  r.Size(values),
+		idx:    idx,
+		vals:   vals,
+	}
+}
+
+// CSC is an EIE-style relative-index format: each nonzero stores an
+// IndexBits relative offset from the previous nonzero plus the value; gaps
+// wider than the offset field insert padding zeros.
+type CSC struct {
+	ElemBytes int
+	IndexBits int
+}
+
+// Name implements Codec.
+func (c CSC) Name() string { return fmt.Sprintf("csc%d_%d", c.ElemBytes, c.IndexBits) }
+
+func (c CSC) maxGap() int { return 1<<c.IndexBits - 1 }
+
+func (c CSC) entries(values []float64) int {
+	maxGap := c.maxGap()
+	entries := 0
+	gap := 0
+	for _, v := range values {
+		if v == 0 {
+			gap++
+			if gap > maxGap {
+				entries++ // padding zero
+				gap = 0
+			}
+			continue
+		}
+		entries++
+		gap = 0
+	}
+	return entries
+}
+
+// Size implements Codec.
+func (c CSC) Size(values []float64) int {
+	bits := c.entries(values) * (c.IndexBits + 8*c.ElemBytes)
+	return (bits + 7) / 8
+}
+
+// Encode implements Codec.
+func (c CSC) Encode(values []float64) *Encoded {
+	idx, vals := gather(values)
+	return &Encoded{
+		Format: c.Name(),
+		N:      len(values),
+		NNZ:    len(vals),
+		Bytes:  c.Size(values),
+		idx:    idx,
+		vals:   vals,
+	}
+}
+
+// Dense models an uncompressed transfer: n*ElemBytes regardless of content.
+// It is what a dense accelerator (the ReverseCNN setting) would ship.
+type Dense struct {
+	ElemBytes int
+}
+
+// Name implements Codec.
+func (d Dense) Name() string { return fmt.Sprintf("dense%d", d.ElemBytes) }
+
+// Size implements Codec.
+func (d Dense) Size(values []float64) int { return len(values) * d.ElemBytes }
+
+// Encode implements Codec.
+func (d Dense) Encode(values []float64) *Encoded {
+	idx, vals := gather(values)
+	return &Encoded{
+		Format: d.Name(),
+		N:      len(values),
+		NNZ:    len(vals),
+		Bytes:  d.Size(values),
+		idx:    idx,
+		vals:   vals,
+	}
+}
+
+// NNZFromBitmapSize inverts the Bitmap size model: given a transfer of size
+// bytes for a payload of n elements, it returns the number of nonzeros.
+// This is exactly the computation the attacker performs on observed
+// transfer volumes. It returns an error when the size is not achievable for
+// the given n, which indicates the transfer was not a bitmap-compressed
+// tensor of that geometry.
+func NNZFromBitmapSize(b Bitmap, n, bytes int) (int, error) {
+	header := (n + 7) / 8
+	rem := bytes - header
+	if rem < 0 || rem%b.ElemBytes != 0 {
+		return 0, fmt.Errorf("sparse: %d bytes is not a bitmap%d transfer of %d elements", bytes, b.ElemBytes, n)
+	}
+	nnz := rem / b.ElemBytes
+	if nnz > n {
+		return 0, fmt.Errorf("sparse: implied nnz %d exceeds element count %d", nnz, n)
+	}
+	return nnz, nil
+}
+
+// Quantize rounds values to a signed fixed-point grid with the given number
+// of bits and scale, clamping to the representable range. Accelerators
+// quantize activations in the post-processing unit before compression; the
+// attack does not depend on the exact grid, only that exact zeros stay zero
+// (which rounding guarantees).
+func Quantize(values []float64, bits int, scale float64) []float64 {
+	if bits < 2 || bits > 32 {
+		panic(fmt.Sprintf("sparse: unsupported quantization width %d", bits))
+	}
+	maxQ := float64(int64(1)<<(bits-1) - 1)
+	minQ := -maxQ - 1
+	out := make([]float64, len(values))
+	for i, v := range values {
+		q := math.Round(v / scale)
+		if q > maxQ {
+			q = maxQ
+		}
+		if q < minQ {
+			q = minQ
+		}
+		out[i] = q * scale
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSparseVec(rng *rand.Rand, n int, density float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Float64() < density {
+			v[i] = rng.NormFloat64()
+		}
+	}
+	return v
+}
+
+func allCodecs() []Codec {
+	return []Codec{
+		Bitmap{ElemBytes: 1},
+		Bitmap{ElemBytes: 2},
+		RLE{ElemBytes: 1, RunBits: 5},
+		RLE{ElemBytes: 2, RunBits: 4},
+		CSC{ElemBytes: 1, IndexBits: 4},
+		Dense{ElemBytes: 1},
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range allCodecs() {
+		for _, density := range []float64{0, 0.1, 0.5, 1.0} {
+			v := randomSparseVec(rng, 333, density)
+			e := c.Encode(v)
+			got := e.Decode()
+			if len(got) != len(v) {
+				t.Fatalf("%s: decoded length %d, want %d", c.Name(), len(got), len(v))
+			}
+			for i := range v {
+				if got[i] != v[i] {
+					t.Fatalf("%s density=%g: value mismatch at %d: %g vs %g", c.Name(), density, i, got[i], v[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSizeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, c := range allCodecs() {
+		for trial := 0; trial < 20; trial++ {
+			v := randomSparseVec(rng, 1+rng.Intn(500), rng.Float64())
+			if got, want := c.Size(v), c.Encode(v).Bytes; got != want {
+				t.Fatalf("%s: Size=%d, Encode.Bytes=%d", c.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestBitmapSizeExact(t *testing.T) {
+	b := Bitmap{ElemBytes: 1}
+	v := make([]float64, 16)
+	v[3], v[9] = 1, -2
+	// 16 elements => 2 bitmap bytes + 2 value bytes.
+	if got := b.Size(v); got != 4 {
+		t.Fatalf("Bitmap size = %d, want 4", got)
+	}
+	if got := b.SizeFor(16, 2); got != 4 {
+		t.Fatalf("SizeFor = %d, want 4", got)
+	}
+}
+
+// The boundary-effect channel needs compressed size to be strictly monotone
+// in nnz for a fixed element count.
+func TestBitmapSizeMonotoneInNNZ(t *testing.T) {
+	b := Bitmap{ElemBytes: 1}
+	n := 1000
+	prev := -1
+	for nnz := 0; nnz <= n; nnz += 37 {
+		s := b.SizeFor(n, nnz)
+		if s <= prev {
+			t.Fatalf("size not strictly increasing: nnz=%d size=%d prev=%d", nnz, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestNNZFromBitmapSizeInvertsEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := Bitmap{ElemBytes: 1}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		v := randomSparseVec(rng, n, rng.Float64())
+		e := b.Encode(v)
+		nnz, err := NNZFromBitmapSize(b, n, e.Bytes)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if nnz != e.NNZ {
+			t.Fatalf("recovered nnz=%d, want %d", nnz, e.NNZ)
+		}
+	}
+}
+
+func TestNNZFromBitmapSizeRejectsBadSizes(t *testing.T) {
+	b := Bitmap{ElemBytes: 2}
+	if _, err := NNZFromBitmapSize(b, 16, 3); err == nil {
+		t.Fatal("expected error for odd payload remainder")
+	}
+	if _, err := NNZFromBitmapSize(b, 16, 1); err == nil {
+		t.Fatal("expected error for size below header")
+	}
+	if _, err := NNZFromBitmapSize(b, 8, 1+2*9); err == nil {
+		t.Fatal("expected error for implied nnz > n")
+	}
+}
+
+func TestRLEHandlesLongZeroRuns(t *testing.T) {
+	r := RLE{ElemBytes: 1, RunBits: 3} // max run 7
+	v := make([]float64, 40)           // all zeros
+	e := r.Encode(v)
+	if got := e.Decode(); len(got) != 40 {
+		t.Fatalf("decode length %d", len(got))
+	}
+	// 40 zeros with max run 7: 5 saturated entries (runs of 7 covering 35)
+	// plus a trailing terminator = 6 entries.
+	if want := 6 * (3 + 8); (e.Bytes*8+7)/8*8 < want {
+		t.Fatalf("RLE all-zero size too small: %d bytes", e.Bytes)
+	}
+	dense := make([]float64, 40)
+	for i := range dense {
+		dense[i] = 1
+	}
+	if r.Size(dense) <= r.Size(v) {
+		t.Fatal("dense payload should be larger than all-zero payload")
+	}
+}
+
+func TestCSCPadding(t *testing.T) {
+	c := CSC{ElemBytes: 1, IndexBits: 2} // max gap 3
+	v := make([]float64, 10)
+	v[0], v[9] = 1, 2 // gap of 8 between nonzeros requires padding entries
+	e := c.Encode(v)
+	got := e.Decode()
+	if got[0] != 1 || got[9] != 2 {
+		t.Fatalf("decode mismatch: %v", got)
+	}
+	// 2 real entries + at least 2 padding entries.
+	if c.entries(v) < 4 {
+		t.Fatalf("entries = %d, want >= 4", c.entries(v))
+	}
+}
+
+func TestDenseSizeIgnoresContent(t *testing.T) {
+	d := Dense{ElemBytes: 2}
+	zeros := make([]float64, 50)
+	ones := make([]float64, 50)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if d.Size(zeros) != d.Size(ones) || d.Size(zeros) != 100 {
+		t.Fatalf("Dense sizes: %d vs %d", d.Size(zeros), d.Size(ones))
+	}
+}
+
+// Property: for every codec, compressed size never exceeds a generous bound
+// and decoding is exact.
+func TestCodecRoundTripProperty(t *testing.T) {
+	codecs := allCodecs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		v := randomSparseVec(rng, n, rng.Float64())
+		for _, c := range codecs {
+			e := c.Encode(v)
+			got := e.Decode()
+			for i := range v {
+				if got[i] != v[i] {
+					return false
+				}
+			}
+			if e.Bytes != c.Size(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a nonzero to a zero position never shrinks the bitmap
+// encoding (monotonicity the attack depends on).
+func TestBitmapMonotoneProperty(t *testing.T) {
+	b := Bitmap{ElemBytes: 1}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		v := randomSparseVec(rng, n, 0.3)
+		before := b.Size(v)
+		// flip one zero (if any) to nonzero
+		for i, x := range v {
+			if x == 0 {
+				v[i] = 1
+				break
+			}
+		}
+		return b.Size(v) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizePreservesZeros(t *testing.T) {
+	v := []float64{0, 0.4, -0.4, 100, -100, 0}
+	q := Quantize(v, 8, 0.5)
+	if q[0] != 0 || q[5] != 0 {
+		t.Fatal("Quantize moved exact zeros")
+	}
+	if q[1] != 0.5 && q[1] != 0 {
+		t.Fatalf("Quantize(0.4) = %g", q[1])
+	}
+	// 8-bit range is [-128, 127] steps of 0.5 => clamp at 63.5 / -64.
+	if q[3] != 63.5 {
+		t.Fatalf("positive clamp = %g, want 63.5", q[3])
+	}
+	if q[4] != -64 {
+		t.Fatalf("negative clamp = %g, want -64", q[4])
+	}
+}
+
+func TestQuantizeBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantize([]float64{1}, 1, 1)
+}

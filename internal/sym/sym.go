@@ -1,0 +1,194 @@
+// Package sym provides hash-consed symbolic expressions: the algebra behind
+// the paper's symbolic convolution engine (§6.2). Expressions are built from
+// free variables (generic weights, biases, probe values), weighted sums, and
+// max nodes; each structurally distinct expression gets a unique ID, so
+// expression equality — the engine's only question — is integer comparison.
+//
+// Structural identity is the right notion here: probe positions related by a
+// shift build *identical* trees, while positions that differ (the boundary
+// effect) build different trees whose values differ for generic weights.
+// The residual "structurally different but numerically equal" case is
+// exactly the one-sided observability error the attack already tolerates
+// (§5.4).
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies an interned expression. IDs are only meaningful within the
+// Interner that produced them.
+type ID int32
+
+type opKind uint8
+
+const (
+	opZero opKind = iota
+	opOne
+	opVar
+	opSum
+	opMax
+)
+
+// Term is one coef·x summand of a Sum expression.
+type Term struct {
+	Coef ID
+	X    ID
+}
+
+type node struct {
+	op    opKind
+	name  string // opVar
+	terms []Term // opSum
+	args  []ID   // opMax
+}
+
+// Interner hash-conses expressions.
+type Interner struct {
+	nodes []node
+	index map[string]ID
+}
+
+// NewInterner returns an interner pre-seeded with Zero and One.
+func NewInterner() *Interner {
+	in := &Interner{index: make(map[string]ID)}
+	in.intern(node{op: opZero}) // ID 0
+	in.intern(node{op: opOne})  // ID 1
+	return in
+}
+
+// Zero is the additive identity (the implicit padding value).
+func (in *Interner) Zero() ID { return 0 }
+
+// One is the multiplicative identity (used as the x of bias terms).
+func (in *Interner) One() ID { return 1 }
+
+func (in *Interner) key(n node) string {
+	var b strings.Builder
+	switch n.op {
+	case opZero:
+		b.WriteString("0")
+	case opOne:
+		b.WriteString("1")
+	case opVar:
+		b.WriteString("v:")
+		b.WriteString(n.name)
+	case opSum:
+		b.WriteString("s:")
+		for _, t := range n.terms {
+			fmt.Fprintf(&b, "%d*%d,", t.Coef, t.X)
+		}
+	case opMax:
+		b.WriteString("m:")
+		for _, a := range n.args {
+			fmt.Fprintf(&b, "%d,", a)
+		}
+	}
+	return b.String()
+}
+
+func (in *Interner) intern(n node) ID {
+	k := in.key(n)
+	if id, ok := in.index[k]; ok {
+		return id
+	}
+	id := ID(len(in.nodes))
+	in.nodes = append(in.nodes, n)
+	in.index[k] = id
+	return id
+}
+
+// Var returns the expression for the named free variable.
+func (in *Interner) Var(name string) ID {
+	return in.intern(node{op: opVar, name: name})
+}
+
+// Sum returns Σ coef·x over the given terms, canonicalized: terms whose
+// coefficient or operand is Zero are dropped; a single 1·x term collapses to
+// x; the empty sum is Zero; terms are sorted so construction order does not
+// matter.
+func (in *Interner) Sum(terms []Term) ID {
+	kept := make([]Term, 0, len(terms))
+	for _, t := range terms {
+		if t.Coef == in.Zero() || t.X == in.Zero() {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if len(kept) == 0 {
+		return in.Zero()
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Coef != kept[j].Coef {
+			return kept[i].Coef < kept[j].Coef
+		}
+		return kept[i].X < kept[j].X
+	})
+	if len(kept) == 1 && kept[0].Coef == in.One() {
+		return kept[0].X
+	}
+	return in.intern(node{op: opSum, terms: kept})
+}
+
+// Add returns x + y.
+func (in *Interner) Add(x, y ID) ID {
+	return in.Sum([]Term{{in.One(), x}, {in.One(), y}})
+}
+
+// Max returns max over the arguments, canonicalized: duplicates collapse
+// (max(a,a)=a), arguments are sorted, and a single argument is returned
+// as-is. Max of no arguments is Zero.
+func (in *Interner) Max(args []ID) ID {
+	if len(args) == 0 {
+		return in.Zero()
+	}
+	uniq := append([]ID(nil), args...)
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	out := uniq[:1]
+	for _, a := range uniq[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return in.intern(node{op: opMax, args: out})
+}
+
+// NumExprs returns how many distinct expressions have been interned.
+func (in *Interner) NumExprs() int { return len(in.nodes) }
+
+// String renders an expression for debugging.
+func (in *Interner) String(id ID) string {
+	n := in.nodes[id]
+	switch n.op {
+	case opZero:
+		return "0"
+	case opOne:
+		return "1"
+	case opVar:
+		return n.name
+	case opSum:
+		var parts []string
+		for _, t := range n.terms {
+			if t.Coef == in.One() {
+				parts = append(parts, in.String(t.X))
+			} else if t.X == in.One() {
+				parts = append(parts, in.String(t.Coef))
+			} else {
+				parts = append(parts, in.String(t.Coef)+"*"+in.String(t.X))
+			}
+		}
+		return "(" + strings.Join(parts, "+") + ")"
+	case opMax:
+		var parts []string
+		for _, a := range n.args {
+			parts = append(parts, in.String(a))
+		}
+		return "max(" + strings.Join(parts, ",") + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,146 @@
+package sym
+
+import "testing"
+
+func TestZeroOneIdentity(t *testing.T) {
+	in := NewInterner()
+	if in.Zero() == in.One() {
+		t.Fatal("Zero == One")
+	}
+	if in.Zero() != 0 || in.One() != 1 {
+		t.Fatal("seed IDs moved")
+	}
+}
+
+func TestVarInterning(t *testing.T) {
+	in := NewInterner()
+	a1 := in.Var("a")
+	a2 := in.Var("a")
+	b := in.Var("b")
+	if a1 != a2 {
+		t.Fatal("same var interned twice")
+	}
+	if a1 == b {
+		t.Fatal("distinct vars collided")
+	}
+}
+
+func TestSumCanonicalization(t *testing.T) {
+	in := NewInterner()
+	a, b, w1, w2 := in.Var("a"), in.Var("b"), in.Var("w1"), in.Var("w2")
+	s1 := in.Sum([]Term{{w1, a}, {w2, b}})
+	s2 := in.Sum([]Term{{w2, b}, {w1, a}})
+	if s1 != s2 {
+		t.Fatal("sum not order-independent")
+	}
+	s3 := in.Sum([]Term{{w1, a}, {w2, a}})
+	if s3 == s1 {
+		t.Fatal("different sums collided")
+	}
+}
+
+func TestSumDropsZeroTerms(t *testing.T) {
+	in := NewInterner()
+	a, w := in.Var("a"), in.Var("w")
+	s := in.Sum([]Term{{w, a}, {w, in.Zero()}, {in.Zero(), a}})
+	if s != in.Sum([]Term{{w, a}}) {
+		t.Fatal("zero terms not dropped")
+	}
+	if in.Sum(nil) != in.Zero() {
+		t.Fatal("empty sum != Zero")
+	}
+}
+
+func TestSumSingleUnitTermCollapses(t *testing.T) {
+	in := NewInterner()
+	a := in.Var("a")
+	if in.Sum([]Term{{in.One(), a}}) != a {
+		t.Fatal("1*a did not collapse to a")
+	}
+	// But w*a must not collapse.
+	w := in.Var("w")
+	if in.Sum([]Term{{w, a}}) == a {
+		t.Fatal("w*a collapsed incorrectly")
+	}
+}
+
+func TestDuplicateTermsDistinctFromSingle(t *testing.T) {
+	in := NewInterner()
+	a, w := in.Var("a"), in.Var("w")
+	one := in.Sum([]Term{{w, a}})
+	two := in.Sum([]Term{{w, a}, {w, a}})
+	if one == two {
+		t.Fatal("w*a and 2*w*a collided")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	in := NewInterner()
+	a, b := in.Var("a"), in.Var("b")
+	if in.Add(a, b) != in.Add(b, a) {
+		t.Fatal("Add not commutative")
+	}
+	if in.Add(a, in.Zero()) != a {
+		t.Fatal("a+0 != a")
+	}
+}
+
+func TestMaxCanonicalization(t *testing.T) {
+	in := NewInterner()
+	a, b, c := in.Var("a"), in.Var("b"), in.Var("c")
+	if in.Max([]ID{a, b, c}) != in.Max([]ID{c, a, b}) {
+		t.Fatal("max not order-independent")
+	}
+	if in.Max([]ID{a, a, b}) != in.Max([]ID{a, b}) {
+		t.Fatal("max duplicates not collapsed")
+	}
+	if in.Max([]ID{a}) != a {
+		t.Fatal("max of one arg")
+	}
+	if in.Max([]ID{a, a}) != a {
+		t.Fatal("max(a,a) != a")
+	}
+	if in.Max(nil) != in.Zero() {
+		t.Fatal("empty max")
+	}
+}
+
+func TestNestedStructuralEquality(t *testing.T) {
+	in := NewInterner()
+	a, b, w, v := in.Var("a"), in.Var("b"), in.Var("w"), in.Var("v")
+	// Build the same nested expression twice through different paths.
+	inner1 := in.Sum([]Term{{w, a}, {v, b}})
+	inner2 := in.Sum([]Term{{v, b}, {w, a}})
+	outer1 := in.Max([]ID{inner1, a})
+	outer2 := in.Max([]ID{a, inner2})
+	if outer1 != outer2 {
+		t.Fatal("nested expressions not shared")
+	}
+}
+
+func TestNumExprsGrowth(t *testing.T) {
+	in := NewInterner()
+	n0 := in.NumExprs()
+	in.Var("x")
+	in.Var("x") // no growth
+	if in.NumExprs() != n0+1 {
+		t.Fatalf("NumExprs = %d, want %d", in.NumExprs(), n0+1)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	in := NewInterner()
+	a, w := in.Var("a"), in.Var("w")
+	s := in.Sum([]Term{{w, a}, {in.Var("bias"), in.One()}})
+	str := in.String(s)
+	if str == "" || str == "?" {
+		t.Fatalf("String = %q", str)
+	}
+	if got := in.String(in.Zero()); got != "0" {
+		t.Fatalf("Zero String = %q", got)
+	}
+	m := in.Max([]ID{a, s})
+	if in.String(m) == "" {
+		t.Fatal("max String empty")
+	}
+}

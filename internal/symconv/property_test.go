@@ -1,0 +1,101 @@
+package symconv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/probe"
+)
+
+// TestSoundnessRandomStacks is the engine's central property: for random
+// layer stacks with random weights, probe positions predicted equal by the
+// symbolic engine must observe exactly equal nnz, for every layer of the
+// stack (the one-sided-error guarantee of §5.4 that the whole attack rests
+// on).
+func TestSoundnessRandomStacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized soundness sweep")
+	}
+	geoms := []struct{ k, s, p int }{
+		{1, 1, 1}, {3, 1, 1}, {3, 1, 2}, {3, 2, 1}, {5, 1, 1}, {5, 2, 1}, {7, 1, 1},
+	}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		depth := 1 + rng.Intn(3)
+		var stack []struct{ k, s, p int }
+		h := 32
+		for d := 0; d < depth; d++ {
+			g := geoms[rng.Intn(len(geoms))]
+			pad := (g.k - 1) / 2
+			nh := ((h+2*pad-g.k)/g.s + 1) / g.p
+			if nh < 4 {
+				break
+			}
+			stack = append(stack, g)
+			h = nh
+		}
+		if len(stack) == 0 {
+			continue
+		}
+		pat := probe.Pattern{M: 0, N: 1 + rng.Intn(2), Q: 8, FeatRow: 14}
+		if pat.Validate(32, 32) != nil {
+			continue
+		}
+
+		// Symbolic per-layer predictions.
+		eng := NewEngine()
+		predPerLayer := make([][]string, len(stack))
+		for q := 0; q < pat.Q; q++ {
+			g := eng.ProbeGrid(pat, q, 32, 32)
+			for li, l := range stack {
+				g = eng.MaxPool(eng.Conv(g, fmt.Sprintf("t%d_l%d", trial, li), l.k, l.s), l.p)
+				predPerLayer[li] = append(predPerLayer[li], Signature(g))
+			}
+		}
+
+		// Numeric observation with random multichannel weights.
+		channels := 2 + rng.Intn(4)
+		var layers []nn.Layer
+		inC := 1
+		for _, l := range stack {
+			conv := nn.NewConv2D(rng, inC, channels, l.k, l.s, nn.SamePad(l.k), 1, true)
+			conv.Bias.W.Uniform(rng, -0.2, 0.2)
+			layers = append(layers, conv, nn.NewReLU())
+			if l.p > 1 {
+				layers = append(layers, nn.NewMaxPool2D(l.p))
+			}
+			inC = channels
+		}
+		vals := probe.RandomValues(rng, pat)
+		nnzPerLayer := make([][]int, len(stack))
+		for q := 0; q < pat.Q; q++ {
+			x := probe.Image(pat, vals, q, 1, 32, 32).Reshape(1, 1, 32, 32)
+			unit := 0
+			for i := 0; i < len(layers); {
+				x = layers[i].Forward(x, false) // conv
+				i++
+				x = layers[i].Forward(x, false) // relu
+				i++
+				if i < len(layers) {
+					if mp, ok := layers[i].(*nn.MaxPool2D); ok {
+						x = mp.Forward(x, false)
+						i++
+					}
+				}
+				nnzPerLayer[unit] = append(nnzPerLayer[unit], x.NNZ(0))
+				unit++
+			}
+		}
+
+		for li := range stack {
+			pred := ClassPattern(predPerLayer[li])
+			obs := ClassPattern(nnzPerLayer[li])
+			if !Refines(pred, obs) {
+				t.Fatalf("trial %d layer %d (%+v): prediction %s does not refine observation %s",
+					trial, li, stack[li], PatternString(pred), PatternString(obs))
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package tensor provides dense n-dimensional float64 tensors used by every
+// layer of the HuffDuff stack: the neural-network library, the accelerator
+// simulator, and the attack itself.
+//
+// Tensors are row-major and carry an explicit shape. Dimension errors are
+// programmer errors and panic; numeric routines never panic on data values.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense row-major n-dimensional array of float64.
+type Tensor struct {
+	shape   []int
+	strides []int
+	Data    []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		Data:  make([]float64, n),
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is used
+// directly (not copied); its length must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		Data:  data,
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumDims returns the number of dimensions.
+func (t *Tensor) NumDims() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Index converts a multi-dimensional index to a flat offset.
+func (t *Tensor) Index(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for %d-d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.Index(idx...)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.Index(idx...)] = v }
+
+// At4 is a fast unchecked accessor for 4-d (e.g. NCHW) tensors.
+func (t *Tensor) At4(a, b, c, d int) float64 {
+	return t.Data[a*t.strides[0]+b*t.strides[1]+c*t.strides[2]+d]
+}
+
+// Set4 is a fast unchecked setter for 4-d tensors.
+func (t *Tensor) Set4(v float64, a, b, c, d int) {
+	t.Data[a*t.strides[0]+b*t.strides[1]+c*t.strides[2]+d] = v
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape. The element count
+// must be unchanged.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.Data), shape, n))
+	}
+	return FromSlice(t.Data, shape...)
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Apply replaces every element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// AddInPlace adds o elementwise into t.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	t.requireSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts o elementwise from t.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	t.requireSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+}
+
+// MulInPlace multiplies t elementwise by o.
+func (t *Tensor) MulInPlace(o *Tensor) {
+	t.requireSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AxpyInPlace computes t += alpha*o.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
+	t.requireSameShape(o)
+	for i, v := range o.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Add returns t + o as a new tensor.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	c := t.Clone()
+	c.AddInPlace(o)
+	return c
+}
+
+// Sub returns t - o as a new tensor.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	c := t.Clone()
+	c.SubInPlace(o)
+	return c
+}
+
+func (t *Tensor) requireSameShape(o *Tensor) {
+	if !SameShape(t, o) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, o.shape))
+	}
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// ArgMin returns the flat index of the minimum element.
+func (t *Tensor) ArgMin() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMin of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data {
+		if v < best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// NNZ returns the number of elements whose absolute value exceeds eps.
+// This is the quantity the compressed-transfer side channel leaks.
+func (t *Tensor) NNZ(eps float64) int {
+	n := 0
+	for _, v := range t.Data {
+		if math.Abs(v) > eps {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of elements with |v| <= eps.
+func (t *Tensor) Sparsity(eps float64) float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return 1 - float64(t.NNZ(eps))/float64(len(t.Data))
+}
+
+// Norm returns the L2 norm of all elements.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// AbsMax returns the maximum absolute value of any element, or 0 when empty.
+func (t *Tensor) AbsMax() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Randn fills the tensor with N(0, std²) samples from rng.
+func (t *Tensor) Randn(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// Uniform fills the tensor with samples from U[lo, hi).
+func (t *Tensor) Uniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// KaimingInit fills a weight tensor with He-normal initialization where fanIn
+// is the number of input connections per output unit.
+func (t *Tensor) KaimingInit(rng *rand.Rand, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: KaimingInit requires positive fanIn")
+	}
+	std := math.Sqrt(2.0 / float64(fanIn))
+	t.Randn(rng, std)
+}
+
+// ApproxEqual reports whether a and b have the same shape and all elements
+// within tol of each other.
+func ApproxEqual(a, b *Tensor, tol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, summarizing large tensors.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.Data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.Data)
+	} else {
+		fmt.Fprintf(&b, "[%g %g ... %g] sum=%g", t.Data[0], t.Data[1], t.Data[len(t.Data)-1], t.Sum())
+	}
+	return b.String()
+}

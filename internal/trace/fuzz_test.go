@@ -1,0 +1,55 @@
+package trace
+
+import "testing"
+
+// FuzzAnalyze feeds arbitrary access sequences to the analyzer: it must
+// never panic, and when it succeeds its outputs must satisfy basic
+// accounting invariants.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 10, 0, 20})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		tr := &Trace{}
+		tm := 0.0
+		for i := 0; i+2 <= len(data); i += 2 {
+			op := Read
+			if data[i]%2 == 0 {
+				op = Write
+			}
+			tr.Accesses = append(tr.Accesses, Access{
+				Time:  tm,
+				Op:    op,
+				Addr:  uint64(data[i+1]) * 16,
+				Bytes: int(data[i]%7) + 1,
+			})
+			tm += 0.001
+		}
+		obs, err := Analyze(tr)
+		if err != nil {
+			return
+		}
+		reads, writes := tr.TotalBytes()
+		gotR, gotW := 0, 0
+		for _, o := range obs {
+			if o.WeightBytes < 0 || o.InputBytes < 0 || o.OutputBytes < 0 {
+				t.Fatal("negative footprint")
+			}
+			gotR += o.WeightBytes + o.InputBytes
+			gotW += o.OutputBytes
+			for _, d := range o.Deps {
+				if d < 0 || d >= len(obs) || d == o.Index {
+					t.Fatalf("bad dep %d in segment %d", d, o.Index)
+				}
+			}
+			if o.OutputBytes > 0 && o.LastWrite < o.FirstWrite {
+				t.Fatal("write window inverted")
+			}
+		}
+		if gotR != reads || gotW != writes {
+			t.Fatalf("accounting mismatch: %d/%d vs %d/%d", gotR, gotW, reads, writes)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package trace defines the DRAM access trace the accelerator simulator
+// emits and the attacker-side analysis that recovers layer structure from
+// it. The analysis uses only information the threat model grants: access
+// times, operation types, addresses, and sizes — never tensor contents.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a DRAM operation type.
+type Op int
+
+// Operation types.
+const (
+	Read Op = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Access is one observed DRAM transfer.
+type Access struct {
+	Time  float64 // seconds since trace start
+	Op    Op
+	Addr  uint64
+	Bytes int
+}
+
+// Trace is a time-ordered sequence of DRAM accesses for one inference.
+type Trace struct {
+	Accesses []Access
+}
+
+// TotalBytes returns the total read and written byte counts.
+func (t *Trace) TotalBytes() (reads, writes int) {
+	for _, a := range t.Accesses {
+		if a.Op == Read {
+			reads += a.Bytes
+		} else {
+			writes += a.Bytes
+		}
+	}
+	return reads, writes
+}
+
+// SegmentObs is what the attacker learns about one execution segment
+// (one accelerator layer pass) from the trace.
+type SegmentObs struct {
+	Index int
+	// WeightBytes is traffic read from read-only addresses (never written
+	// in the trace): the compressed weight tensor.
+	WeightBytes int
+	// InputBytes is traffic read from previously written addresses: the
+	// compressed input activations.
+	InputBytes int
+	// OutputBytes is the compressed output activation traffic.
+	OutputBytes int
+	// Deps lists the segment indices that produced the data this segment
+	// reads (0 = the attacker-supplied input DMA segment). This is the
+	// recovered dataflow graph.
+	Deps []int
+	// FirstWrite/LastWrite bound the output encoding interval; their
+	// difference is the timing side channel of §7.
+	FirstWrite, LastWrite float64
+}
+
+// EncodingTime returns the observed psum-encoding duration (the Δt between
+// the first and last output DRAM transfer).
+func (s SegmentObs) EncodingTime() float64 { return s.LastWrite - s.FirstWrite }
+
+// Analyze segments a trace into layer passes and extracts per-segment
+// footprints, dependencies, and encoding times.
+//
+// Segmentation exploits layerwise execution: within one pass all input/weight
+// reads precede the output writeback, so a Read that follows a Write starts a
+// new segment. Segment 0 is the attacker's own input DMA (writes only).
+// Dependencies are recovered by matching read addresses against earlier
+// segments' write ranges (the read-after-write rule of §3.2).
+func Analyze(t *Trace) ([]SegmentObs, error) {
+	if len(t.Accesses) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	// Pass 1: which addresses are ever written (weights are read-only).
+	type span struct {
+		lo, hi  uint64 // [lo, hi)
+		segment int
+	}
+	var writeSpans []span
+
+	// Split into segments.
+	var segments [][]Access
+	cur := []Access{t.Accesses[0]}
+	for _, a := range t.Accesses[1:] {
+		prev := cur[len(cur)-1]
+		if a.Time < prev.Time {
+			return nil, fmt.Errorf("trace: accesses out of order at t=%g", a.Time)
+		}
+		if a.Op == Read && prev.Op == Write {
+			segments = append(segments, cur)
+			cur = nil
+		}
+		cur = append(cur, a)
+	}
+	segments = append(segments, cur)
+
+	// Collect write spans per segment (coalescing is unnecessary; spans are
+	// matched by containment).
+	writtenEver := func(addr uint64) (int, bool) {
+		for _, s := range writeSpans {
+			if addr >= s.lo && addr < s.hi {
+				return s.segment, true
+			}
+		}
+		return 0, false
+	}
+	obs := make([]SegmentObs, len(segments))
+	for i, seg := range segments {
+		for _, a := range seg {
+			if a.Op == Write {
+				writeSpans = append(writeSpans, span{a.Addr, a.Addr + uint64(a.Bytes), i})
+			}
+		}
+	}
+	// Keep spans sorted for deterministic dep ordering (search is linear;
+	// traces are small).
+	sort.Slice(writeSpans, func(i, j int) bool { return writeSpans[i].lo < writeSpans[j].lo })
+
+	for i, seg := range segments {
+		o := &obs[i]
+		o.Index = i
+		o.FirstWrite = -1
+		depSet := map[int]bool{}
+		for _, a := range seg {
+			switch a.Op {
+			case Read:
+				if producer, ok := writtenEver(a.Addr); ok {
+					o.InputBytes += a.Bytes
+					if producer != i {
+						depSet[producer] = true
+					}
+				} else {
+					o.WeightBytes += a.Bytes
+				}
+			case Write:
+				o.OutputBytes += a.Bytes
+				if o.FirstWrite < 0 {
+					o.FirstWrite = a.Time
+				}
+				o.LastWrite = a.Time
+			}
+		}
+		o.Deps = make([]int, 0, len(depSet))
+		for d := range depSet {
+			o.Deps = append(o.Deps, d)
+		}
+		sort.Ints(o.Deps)
+	}
+	return obs, nil
+}
+
+// OutputSignature extracts the per-layer output byte counts from analyzed
+// segments, skipping the input DMA segment. This is the observation vector
+// the boundary-effect prober compares across probe images.
+func OutputSignature(obs []SegmentObs) []int {
+	sig := make([]int, 0, len(obs)-1)
+	for _, o := range obs[1:] {
+		sig = append(sig, o.OutputBytes)
+	}
+	return sig
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"testing"
+)
+
+func mkTrace(accs ...Access) *Trace { return &Trace{Accesses: accs} }
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	if _, err := Analyze(&Trace{}); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+}
+
+func TestAnalyzeOutOfOrder(t *testing.T) {
+	tr := mkTrace(
+		Access{Time: 1, Op: Write, Addr: 0, Bytes: 4},
+		Access{Time: 0.5, Op: Read, Addr: 0, Bytes: 4},
+	)
+	if _, err := Analyze(tr); err == nil {
+		t.Fatal("expected error for out-of-order trace")
+	}
+}
+
+func TestAnalyzeSegmentsSimpleChain(t *testing.T) {
+	// Segment 0: input DMA write at 0x100 (8 bytes).
+	// Segment 1: read input + read weights (0x10, never written), write 0x200.
+	// Segment 2: read 0x200, write 0x300.
+	tr := mkTrace(
+		Access{Time: 0, Op: Write, Addr: 0x100, Bytes: 8},
+		Access{Time: 1, Op: Read, Addr: 0x100, Bytes: 8},
+		Access{Time: 2, Op: Read, Addr: 0x10, Bytes: 16},
+		Access{Time: 3, Op: Write, Addr: 0x200, Bytes: 4},
+		Access{Time: 4, Op: Write, Addr: 0x204, Bytes: 4},
+		Access{Time: 5, Op: Read, Addr: 0x200, Bytes: 8},
+		Access{Time: 6, Op: Write, Addr: 0x300, Bytes: 8},
+	)
+	obs, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(obs))
+	}
+	s1 := obs[1]
+	if s1.InputBytes != 8 || s1.WeightBytes != 16 || s1.OutputBytes != 8 {
+		t.Fatalf("segment 1 = %+v", s1)
+	}
+	if len(s1.Deps) != 1 || s1.Deps[0] != 0 {
+		t.Fatalf("segment 1 deps = %v", s1.Deps)
+	}
+	s2 := obs[2]
+	if len(s2.Deps) != 1 || s2.Deps[0] != 1 {
+		t.Fatalf("segment 2 deps = %v", s2.Deps)
+	}
+	if s1.FirstWrite != 3 || s1.LastWrite != 4 {
+		t.Fatalf("segment 1 write window = [%g,%g]", s1.FirstWrite, s1.LastWrite)
+	}
+	if s1.EncodingTime() != 1 {
+		t.Fatalf("encoding time = %g", s1.EncodingTime())
+	}
+}
+
+func TestAnalyzeResidualDeps(t *testing.T) {
+	// seg1 writes A, seg2 reads A writes B, seg3 reads B writes C,
+	// seg4 reads B and C (residual add) writes D.
+	tr := mkTrace(
+		Access{Time: 0, Op: Write, Addr: 0x100, Bytes: 8}, // input
+		Access{Time: 1, Op: Read, Addr: 0x100, Bytes: 8},
+		Access{Time: 2, Op: Write, Addr: 0x200, Bytes: 8}, // A (seg1)
+		Access{Time: 3, Op: Read, Addr: 0x200, Bytes: 8},
+		Access{Time: 4, Op: Write, Addr: 0x300, Bytes: 8}, // B (seg2)
+		Access{Time: 5, Op: Read, Addr: 0x300, Bytes: 8},
+		Access{Time: 6, Op: Write, Addr: 0x400, Bytes: 8}, // C (seg3)
+		Access{Time: 7, Op: Read, Addr: 0x300, Bytes: 8},  // skip connection
+		Access{Time: 8, Op: Read, Addr: 0x400, Bytes: 8},
+		Access{Time: 9, Op: Write, Addr: 0x500, Bytes: 8}, // D (seg4)
+	)
+	obs, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 5 {
+		t.Fatalf("segments = %d, want 5", len(obs))
+	}
+	add := obs[4]
+	if len(add.Deps) != 2 || add.Deps[0] != 2 || add.Deps[1] != 3 {
+		t.Fatalf("residual deps = %v, want [2 3]", add.Deps)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	tr := mkTrace(
+		Access{Time: 0, Op: Write, Addr: 0, Bytes: 10},
+		Access{Time: 1, Op: Read, Addr: 0, Bytes: 6},
+		Access{Time: 2, Op: Read, Addr: 32, Bytes: 4},
+	)
+	r, w := tr.TotalBytes()
+	if r != 10 || w != 10 {
+		t.Fatalf("reads=%d writes=%d", r, w)
+	}
+}
+
+func TestOutputSignatureSkipsInputDMA(t *testing.T) {
+	tr := mkTrace(
+		Access{Time: 0, Op: Write, Addr: 0x100, Bytes: 8},
+		Access{Time: 1, Op: Read, Addr: 0x100, Bytes: 8},
+		Access{Time: 2, Op: Write, Addr: 0x200, Bytes: 20},
+		Access{Time: 3, Op: Read, Addr: 0x200, Bytes: 20},
+		Access{Time: 4, Op: Write, Addr: 0x300, Bytes: 12},
+	)
+	obs, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := OutputSignature(obs)
+	if len(sig) != 2 || sig[0] != 20 || sig[1] != 12 {
+		t.Fatalf("signature = %v", sig)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("Op.String broken")
+	}
+}

@@ -1,0 +1,184 @@
+// Package train provides the SGD training loop, loss functions, and
+// evaluation used to train victim models and retrain the attacker's
+// reverse-engineered candidates (paper §8.3).
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/dataset"
+	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with momentum and decoupled weight
+// decay. It respects parameter pruning masks: masked entries never move.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter from its accumulated gradient.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = tensor.New(p.W.Shape()...)
+			s.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if p.Decay {
+				g += s.WeightDecay * p.W.Data[i]
+			}
+			v.Data[i] = s.Momentum*v.Data[i] + g
+			p.W.Data[i] -= s.LR * v.Data[i]
+		}
+		p.ApplyMask()
+	}
+}
+
+// Softmax writes row-wise softmax of logits [N, K] into a new tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		dst := out.Data[i*k : (i+1)*k]
+		for j, v := range row {
+			e := math.Exp(v - max)
+			dst[j] = e
+			sum += e
+		}
+		for j := range dst {
+			dst[j] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropy returns the mean cross-entropy loss over the batch and the
+// gradient w.r.t. the logits (already divided by batch size).
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("train: %d labels for batch of %d", len(labels), n))
+	}
+	probs := Softmax(logits)
+	grad := tensor.New(n, k)
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		p := probs.Data[i*k+labels[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		for j := 0; j < k; j++ {
+			g := probs.Data[i*k+j]
+			if j == labels[i] {
+				g -= 1
+			}
+			grad.Data[i*k+j] = g / float64(n)
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Config controls a training run.
+type Config struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// LRDropEvery halves the learning rate every this many epochs (0 = never).
+	LRDropEvery int
+	// Silent suppresses per-epoch logging via Logf.
+	Logf func(format string, args ...any)
+	// Seed controls shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns a configuration suitable for the width-scaled models
+// used in tests and benches.
+func DefaultConfig() Config {
+	return Config{Epochs: 4, BatchSize: 32, LR: 0.05, Momentum: 0.9, WeightDecay: 5e-4, LRDropEvery: 3, Seed: 1}
+}
+
+// Fit trains the network on ds and returns the final training loss.
+func Fit(net *nn.Network, ds *dataset.Dataset, cfg Config) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	params := net.Params()
+	lastLoss := math.NaN()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDropEvery > 0 && epoch > 0 && epoch%cfg.LRDropEvery == 0 {
+			opt.LR /= 2
+		}
+		ds.Shuffle(rng)
+		totalLoss, batches := 0.0, 0
+		for lo := 0; lo+cfg.BatchSize <= ds.Len(); lo += cfg.BatchSize {
+			x, y := ds.Batch(lo, lo+cfg.BatchSize)
+			net.ZeroGrads()
+			logits := net.Forward(x, true)
+			loss, grad := CrossEntropy(logits, y)
+			net.Backward(grad)
+			opt.Step(params)
+			totalLoss += loss
+			batches++
+		}
+		lastLoss = totalLoss / float64(batches)
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d/%d: loss %.4f (lr %.4f)", epoch+1, cfg.Epochs, lastLoss, opt.LR)
+		}
+	}
+	return lastLoss
+}
+
+// Accuracy evaluates top-1 accuracy on ds in eval mode.
+func Accuracy(net *nn.Network, ds *dataset.Dataset, batchSize int) float64 {
+	if batchSize < 1 {
+		batchSize = 64
+	}
+	correct := 0
+	for lo := 0; lo < ds.Len(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		x, y := ds.Batch(lo, hi)
+		logits := net.Forward(x, false)
+		k := logits.Dim(1)
+		for i := range y {
+			row := logits.Data[i*k : (i+1)*k]
+			best, bi := row[0], 0
+			for j, v := range row {
+				if v > best {
+					best, bi = v, j
+				}
+			}
+			if bi == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

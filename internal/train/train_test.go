@@ -1,0 +1,136 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/dataset"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/tensor"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1, 2, 3, -1000, 0, 1000}, 2, 3)
+	p := Softmax(logits)
+	for i := 0; i < 2; i++ {
+		s := 0.0
+		for j := 0; j < 3; j++ {
+			v := p.At(i, j)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("bad prob %g", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+	// Extreme logits must not overflow.
+	if p.At(1, 2) < 0.999 {
+		t.Fatalf("softmax(1000) = %g", p.At(1, 2))
+	}
+}
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.New(1, 4)
+	loss, grad := CrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-9 {
+		t.Fatalf("loss = %g, want ln4", loss)
+	}
+	// grad: p - onehot = 0.25 everywhere except 0.25-1 at label.
+	if math.Abs(grad.At(0, 2)-(-0.75)) > 1e-9 || math.Abs(grad.At(0, 0)-0.25) > 1e-9 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestCrossEntropyGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	logits := tensor.New(3, 5)
+	logits.Randn(rng, 1)
+	labels := []int{1, 4, 0}
+	_, grad := CrossEntropy(logits, labels)
+	const eps = 1e-6
+	for i := 0; i < logits.Size(); i += 2 {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		up, _ := CrossEntropy(logits, labels)
+		logits.Data[i] = orig - eps
+		down, _ := CrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-grad.Data[i]) > 1e-5 {
+			t.Fatalf("grad[%d]: %g vs numeric %g", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestCrossEntropyLabelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CrossEntropy(tensor.New(2, 3), []int{0})
+}
+
+func TestSGDMomentumAndDecay(t *testing.T) {
+	p := &nn.Param{Name: "w", W: tensor.FromSlice([]float64{1}, 1), Grad: tensor.FromSlice([]float64{0.5}, 1), Decay: true}
+	opt := NewSGD(0.1, 0.9, 0.01)
+	opt.Step([]*nn.Param{p})
+	// g = 0.5 + 0.01*1 = 0.51; v = 0.51; w = 1 - 0.051 = 0.949
+	if math.Abs(p.W.Data[0]-0.949) > 1e-12 {
+		t.Fatalf("w = %g", p.W.Data[0])
+	}
+	p.Grad.Data[0] = 0
+	opt.Step([]*nn.Param{p})
+	// g = 0.01*0.949 = 0.00949; v = 0.9*0.51+0.00949 = 0.46849
+	want := 0.949 - 0.1*(0.9*0.51+0.00949)
+	if math.Abs(p.W.Data[0]-want) > 1e-12 {
+		t.Fatalf("w after momentum step = %g, want %g", p.W.Data[0], want)
+	}
+}
+
+func TestSGDRespectsMask(t *testing.T) {
+	p := &nn.Param{Name: "w", W: tensor.FromSlice([]float64{0, 2}, 2), Grad: tensor.FromSlice([]float64{1, 1}, 2), Decay: true}
+	p.Mask = tensor.FromSlice([]float64{0, 1}, 2)
+	opt := NewSGD(0.1, 0, 0)
+	opt.Step([]*nn.Param{p})
+	if p.W.Data[0] != 0 {
+		t.Fatalf("masked weight moved to %g", p.W.Data[0])
+	}
+	if p.W.Data[1] != 1.9 {
+		t.Fatalf("unmasked weight = %g", p.W.Data[1])
+	}
+}
+
+func TestFitLearnsSyntheticTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(10))
+	bind, err := models.SmallCNN().Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, te := dataset.Synthetic(123, 300, 100, 0.05)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	before := Accuracy(bind.Net, te, 50)
+	loss := Fit(bind.Net, tr, cfg)
+	after := Accuracy(bind.Net, te, 50)
+	if math.IsNaN(loss) {
+		t.Fatal("loss is NaN")
+	}
+	// The synthetic task is deliberately hard for small models (classes
+	// share a base pattern); clearing 2.5x chance in three epochs on 300
+	// samples demonstrates the training loop works.
+	if after < 0.25 {
+		t.Fatalf("accuracy after training %.2f (before %.2f); model failed to learn", after, before)
+	}
+	if after <= before {
+		t.Fatalf("training did not improve accuracy: %.2f -> %.2f", before, after)
+	}
+}
