@@ -3,9 +3,17 @@
 // the dataflow graph, per-layer geometry, channel ratios from the timing
 // side channel, and the finalized solution space.
 //
+// The -chaos flags wrap the victim in the fault-injection layer
+// (internal/chaos) to exercise the hardened pipeline: transient device
+// failures, timing jitter, dropped/duplicated/swapped DRAM events,
+// truncated traces, and randomized-padding volume inflation. Combine with
+// -robust to enable retries, min-over-repeats aggregation, the §8.2
+// convergence loop, and graceful degradation.
+//
 // Usage:
 //
 //	huffduff -model resnet18 -scale 16 -keep 0.5 -trials 32
+//	huffduff -model smallcnn -chaos -robust
 package main
 
 import (
@@ -14,8 +22,11 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"sort"
 
 	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/chaos"
+	"github.com/huffduff/huffduff/internal/faults"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/prune"
@@ -48,6 +59,20 @@ func main() {
 		seed    = flag.Int64("seed", 1, "victim and attack seed")
 		defence = flag.Float64("defence", 0, "randomized zero-padding probability (§9.2 defence)")
 		noiseOK = flag.Bool("noise-tolerant", false, "enable the repeated-measurement counter-attack")
+
+		robust    = flag.Bool("robust", false, "enable the fault-hardened pipeline (retries, convergence loop, graceful degradation)")
+		retries   = flag.Int("retries", -1, "per-inference retry budget for transient faults (-1 keeps the config default)")
+		timingTol = flag.Float64("timing-tol", 0.05, "max robust Δt dispersion before degrading to the timing-free space (with -robust)")
+
+		chaosOn   = flag.Bool("chaos", false, "wrap the victim in the fault-injection layer")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed")
+		transient = flag.Float64("chaos-transient", -1, "transient Run failure probability (-1 = class default)")
+		jitter    = flag.Float64("chaos-jitter", -1, "timing jitter std as a fraction of the mean event gap")
+		drop      = flag.Float64("chaos-drop", -1, "per-event drop probability")
+		dup       = flag.Float64("chaos-dup", -1, "per-event duplication probability")
+		swap      = flag.Float64("chaos-swap", -1, "per-event payload-swap probability")
+		truncP    = flag.Float64("chaos-truncate", -1, "per-trace truncation probability")
+		pad       = flag.Float64("chaos-pad", -1, "per-write padding-inflation probability")
 	)
 	flag.Parse()
 
@@ -66,20 +91,52 @@ func main() {
 	acfg := accel.DefaultConfig()
 	acfg.ZeroPadProb = *defence
 	acfg.Seed = *seed
-	victim := accel.NewMachine(acfg, arch, bind)
+	var victim attack.Victim = accel.NewMachine(acfg, arch, bind)
+
+	var faulty *chaos.FaultyVictim
+	if *chaosOn {
+		ccfg := chaos.DefaultConfig()
+		ccfg.Seed = *chaosSeed
+		override := func(dst *float64, v float64) {
+			if v >= 0 {
+				*dst = v
+			}
+		}
+		override(&ccfg.TransientProb, *transient)
+		override(&ccfg.JitterStd, *jitter)
+		override(&ccfg.DropProb, *drop)
+		override(&ccfg.DupProb, *dup)
+		override(&ccfg.SwapProb, *swap)
+		override(&ccfg.TruncateProb, *truncP)
+		override(&ccfg.PadProb, *pad)
+		faulty = chaos.Wrap(victim, ccfg)
+		victim = faulty
+		fmt.Printf("chaos: fault injection on (seed %d)\n", ccfg.Seed)
+	}
 
 	cfg := attack.DefaultConfig()
+	if *robust {
+		cfg = attack.DefaultRobustConfig()
+		cfg.TimingTolerance = *timingTol
+	}
 	cfg.Probe.Trials = *trials
 	cfg.Probe.Q = *q
 	cfg.Probe.Seed = *seed
 	cfg.Probe.NoiseTolerant = *noiseOK
+	if *retries >= 0 {
+		cfg.Probe.MaxRetries = *retries
+	}
 
 	fmt.Printf("victim: %s (%.0f%% weights pruned)\n", arch.Name, 100*prune.OverallSparsity(bind.Net.Params()))
 	fmt.Printf("probing: T=%d trials x 4 families x Q=%d positions\n\n", *trials, *q)
 
 	res, err := attack.Attack(victim, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "attack failed: %v\n", err)
+		if stage, ok := faults.StageOf(err); ok {
+			fmt.Fprintf(os.Stderr, "attack failed in %s stage: %v\n", stage, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "attack failed: %v\n", err)
+		}
 		os.Exit(1)
 	}
 
@@ -99,17 +156,49 @@ func main() {
 			mark = "ok"
 			correct++
 		}
-		fmt.Printf("  %-8s recovered k=%d s=%d pool=%d   true k=%d s=%d pool=%d   kratio=%.2f  [%s]\n",
-			u.Name, got.Kernel, got.Stride, got.Pool, u.Kernel, u.Stride, u.Pool, res.Timing.KRatio[i+1], mark)
+		kratio := 0.0
+		if res.Timing != nil {
+			kratio = res.Timing.KRatio[i+1]
+		}
+		conf := ""
+		if res.Confidence != nil {
+			conf = fmt.Sprintf("  conf=%.2f", res.Confidence[i+1])
+		}
+		fmt.Printf("  %-8s recovered k=%d s=%d pool=%d   true k=%d s=%d pool=%d   kratio=%.2f%s  [%s]\n",
+			u.Name, got.Kernel, got.Stride, got.Pool, u.Kernel, u.Stride, u.Pool, kratio, conf, mark)
 	}
 	fmt.Printf("geometry recovery: %d/%d\n", correct, total)
+	if cfg.Converge {
+		fmt.Printf("convergence: agreed=%v from %d trials\n", res.Converged, res.TrialsConverged)
+	}
+	if res.VictimRetries > 0 {
+		fmt.Printf("victim retries: %d inferences re-run\n", res.VictimRetries)
+	}
 
 	sp := res.Space
+	if res.Degraded {
+		fmt.Printf("\nDEGRADED result: timing channel unusable (%s)\n", res.DegradedReason)
+		fmt.Println("per-conv channel bounds from transfer headers + sparse bound:")
+		ids := make([]int, 0, len(sp.KBounds))
+		for id := range sp.KBounds {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Printf("  node %d: K in [%d, %d]\n", id, sp.KBounds[id][0], sp.KBounds[id][1])
+		}
+	}
 	fmt.Printf("\nsolution space: k1 in [%d, %d] -> %d candidates (geometry ambiguity x%d)\n",
 		sp.K1Min, sp.K1Max, len(sp.Solutions), sp.GeomAmbiguity)
 	trueK1 := arch.Units[arch.ConvUnits()[0]].OutC
 	inRange := trueK1 >= sp.K1Min && trueK1 <= sp.K1Max
 	fmt.Printf("true first-layer channels: %d (in range: %v)\n", trueK1, inRange)
+
+	if faulty != nil {
+		s := faulty.Stats()
+		fmt.Printf("\nchaos stats: %d runs, %d transients, %d padded, %d dropped, %d duplicated, %d swapped, %d truncated\n",
+			s.Runs, s.Transients, s.Padded, s.Dropped, s.Duplicated, s.Swapped, s.Truncated)
+	}
 
 	samples := attack.SampleSolutions(sp, 3, rng)
 	fmt.Println("\nsampled candidate architectures:")

@@ -37,8 +37,10 @@ import (
 
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/adv"
+	"github.com/huffduff/huffduff/internal/chaos"
 	"github.com/huffduff/huffduff/internal/dataset"
 	"github.com/huffduff/huffduff/internal/dram"
+	"github.com/huffduff/huffduff/internal/faults"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/nn"
@@ -120,10 +122,51 @@ type (
 // DefaultAttackConfig matches the paper's evaluation setup.
 func DefaultAttackConfig() AttackConfig { return attack.DefaultConfig() }
 
+// DefaultRobustAttackConfig is DefaultAttackConfig hardened for noisy or
+// faulty observation channels: bounded retry on transient victim failures,
+// min-over-repeats probe aggregation, trial-escalation until two consecutive
+// solves agree, and graceful degradation to a timing-free solution space
+// when the encoding intervals are too jittery to trust.
+func DefaultRobustAttackConfig() AttackConfig { return attack.DefaultRobustConfig() }
+
 // Attack runs the full HuffDuff pipeline against a victim device.
 func Attack(victim Victim, cfg AttackConfig) (*AttackResult, error) {
 	return attack.Attack(victim, cfg)
 }
+
+// Fault injection and error taxonomy.
+type (
+	// ChaosConfig sets per-fault-class injection intensities.
+	ChaosConfig = chaos.Config
+	// ChaosStats counts the faults a FaultyVictim injected.
+	ChaosStats = chaos.Stats
+	// FaultyVictim is a victim wrapped with seeded fault injection.
+	FaultyVictim = chaos.FaultyVictim
+)
+
+// DefaultChaosConfig enables every fault class at its default intensity.
+func DefaultChaosConfig() ChaosConfig { return chaos.DefaultConfig() }
+
+// WrapChaos builds a fault-injecting view of a victim device.
+func WrapChaos(v Victim, cfg ChaosConfig) *FaultyVictim { return chaos.Wrap(v, cfg) }
+
+// Error classification sentinels; test with errors.Is.
+var (
+	// ErrTransient marks a momentary victim failure; retry.
+	ErrTransient = faults.ErrTransient
+	// ErrTraceCorrupt marks an observation that violates trace invariants;
+	// re-run the inference.
+	ErrTraceCorrupt = faults.ErrTraceCorrupt
+	// ErrTimingUnusable marks timing measurements too noisy for K-ratio
+	// recovery; the attack degrades to a timing-free solution space.
+	ErrTimingUnusable = faults.ErrTimingUnusable
+	// ErrBadConfig marks an invalid configuration; do not retry.
+	ErrBadConfig = faults.ErrBadConfig
+)
+
+// AttackStage extracts the pipeline stage ("calibration", "probe", "solve",
+// "geometry", "timing", "finalize") an attack error originated in.
+func AttackStage(err error) (string, bool) { return faults.StageOf(err) }
 
 // SampleSolutions draws n distinct candidates uniformly from the solution
 // space.

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"github.com/huffduff/huffduff/internal/dram"
+	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/sparse"
 	"github.com/huffduff/huffduff/internal/tensor"
@@ -259,10 +260,10 @@ func (m *Machine) Run(img *tensor.Tensor) (*trace.Trace, error) {
 		img = img.Reshape(1, img.Dim(0), img.Dim(1), img.Dim(2))
 	}
 	if img.NumDims() != 4 || img.Dim(0) != 1 {
-		return nil, fmt.Errorf("accel: Run requires a single [C,H,W] or [1,C,H,W] image, got %v", img.Shape())
+		return nil, fmt.Errorf("accel: Run requires a single [C,H,W] or [1,C,H,W] image, got %v: %w", img.Shape(), faults.ErrBadConfig)
 	}
 	if img.Dim(1) != m.Arch.InC || img.Dim(2) != m.Arch.InH || img.Dim(3) != m.Arch.InW {
-		return nil, fmt.Errorf("accel: image %v does not match arch input %dx%dx%d", img.Shape(), m.Arch.InC, m.Arch.InH, m.Arch.InW)
+		return nil, fmt.Errorf("accel: image %v does not match arch input %dx%dx%d: %w", img.Shape(), m.Arch.InC, m.Arch.InH, m.Arch.InW, faults.ErrBadConfig)
 	}
 
 	// Dense numeric execution: the accelerator's zero-skipping arithmetic is

@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/faults"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
+)
+
+// fakeVictim replays a fixed clean 3-segment trace: input DMA → conv
+// (weights + input, two write blocks) → head. Enough events for the
+// per-event fault classes to land.
+type fakeVictim struct{}
+
+func (fakeVictim) Run(*tensor.Tensor) (*trace.Trace, error) {
+	tr := &trace.Trace{}
+	add := func(tm float64, op trace.Op, addr uint64, bytes int) {
+		tr.Accesses = append(tr.Accesses, trace.Access{Time: tm, Op: op, Addr: addr, Bytes: bytes})
+	}
+	tm := 0.0
+	next := func() float64 { tm += 0.001; return tm }
+	// Segment 0: input DMA, 4 write blocks.
+	for i := 0; i < 4; i++ {
+		add(next(), trace.Write, 0x1000+uint64(i)*64, 64)
+	}
+	// Segment 1: read input + weights, write 4 blocks.
+	for i := 0; i < 4; i++ {
+		add(next(), trace.Read, 0x1000+uint64(i)*64, 64)
+	}
+	for i := 0; i < 6; i++ {
+		add(next(), trace.Read, 0x8000+uint64(i)*64, 64) // weights, never written
+	}
+	for i := 0; i < 4; i++ {
+		add(next(), trace.Write, 0x2000+uint64(i)*64, 64)
+	}
+	// Segment 2: read segment 1's output, write the logits.
+	for i := 0; i < 4; i++ {
+		add(next(), trace.Read, 0x2000+uint64(i)*64, 64)
+	}
+	add(next(), trace.Read, 0x9000, 64) // head weights
+	add(next(), trace.Write, 0x3000, 64)
+	return tr, nil
+}
+
+func run(t *testing.T, fv *FaultyVictim) *trace.Trace {
+	t.Helper()
+	tr, err := fv.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	clean, _ := fakeVictim{}.Run(nil)
+	fv := Wrap(fakeVictim{}, Config{Seed: 1})
+	tr := run(t, fv)
+	if len(tr.Accesses) != len(clean.Accesses) {
+		t.Fatalf("event count changed: %d vs %d", len(tr.Accesses), len(clean.Accesses))
+	}
+	for i := range tr.Accesses {
+		if tr.Accesses[i] != clean.Accesses[i] {
+			t.Fatalf("event %d mutated: %+v vs %+v", i, tr.Accesses[i], clean.Accesses[i])
+		}
+	}
+}
+
+func TestTransientFailure(t *testing.T) {
+	fv := Wrap(fakeVictim{}, Config{Seed: 1, TransientProb: 1})
+	_, err := fv.Run(nil)
+	if !errors.Is(err, faults.ErrTransient) {
+		t.Fatalf("error %v does not wrap ErrTransient", err)
+	}
+	if s := fv.Stats(); s.Transients != 1 || s.Runs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Wrap(fakeVictim{}, cfg)
+	b := Wrap(fakeVictim{}, cfg)
+	for i := 0; i < 20; i++ {
+		ta, ea := a.Run(nil)
+		tb, eb := b.Run(nil)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("run %d: error divergence (%v vs %v)", i, ea, eb)
+		}
+		if ea != nil {
+			continue
+		}
+		if len(ta.Accesses) != len(tb.Accesses) {
+			t.Fatalf("run %d: %d vs %d events", i, len(ta.Accesses), len(tb.Accesses))
+		}
+		for j := range ta.Accesses {
+			if ta.Accesses[j] != tb.Accesses[j] {
+				t.Fatalf("run %d event %d: %+v vs %+v", i, j, ta.Accesses[j], tb.Accesses[j])
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestJitterPreservesOrder(t *testing.T) {
+	fv := Wrap(fakeVictim{}, Config{Seed: 3, JitterStd: 2})
+	for i := 0; i < 10; i++ {
+		tr := run(t, fv)
+		for j := 1; j < len(tr.Accesses); j++ {
+			if tr.Accesses[j].Time < tr.Accesses[j-1].Time {
+				t.Fatalf("run %d: event %d reordered by jitter", i, j)
+			}
+		}
+	}
+	if fv.Stats().Jittered == 0 {
+		t.Fatal("jitter never applied")
+	}
+}
+
+// Padding must inflate the producing write and every read of the same block
+// identically, so the corrupted trace still satisfies the byte-accounting
+// invariants — it models the §9.1 defence, not sniffer corruption.
+func TestPadStaysConsistent(t *testing.T) {
+	fv := Wrap(fakeVictim{}, Config{Seed: 5, PadProb: 0.5, PadMaxBytes: 16})
+	padded := false
+	for i := 0; i < 10; i++ {
+		tr := run(t, fv)
+		obs, err := trace.Analyze(tr)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := trace.Validate(obs); err != nil {
+			t.Fatalf("run %d: padded trace failed validation: %v", i, err)
+		}
+	}
+	padded = fv.Stats().Padded > 0
+	if !padded {
+		t.Fatal("padding never applied")
+	}
+}
+
+// Dropped and duplicated events break the byte-accounting invariant in
+// (almost) every case on this trace, so Validate must catch at least some
+// corrupted observations — that detection is what drives the attack's
+// retry loop.
+func TestMangleIsDetectable(t *testing.T) {
+	fv := Wrap(fakeVictim{}, Config{Seed: 7, DropProb: 0.1, DupProb: 0.1})
+	detected, injected := 0, 0
+	for i := 0; i < 30; i++ {
+		before := fv.Stats()
+		tr := run(t, fv)
+		after := fv.Stats()
+		if after.Dropped+after.Duplicated == before.Dropped+before.Duplicated {
+			continue
+		}
+		injected++
+		obs, err := trace.Analyze(tr)
+		if err == nil {
+			err = trace.Validate(obs)
+		}
+		if err != nil {
+			if !errors.Is(err, faults.ErrTraceCorrupt) {
+				t.Fatalf("run %d: error %v does not wrap ErrTraceCorrupt", i, err)
+			}
+			detected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no mangle faults injected in 30 runs")
+	}
+	if detected == 0 {
+		t.Fatalf("none of %d corrupted traces detected", injected)
+	}
+}
+
+func TestTruncateShortensTrace(t *testing.T) {
+	clean, _ := fakeVictim{}.Run(nil)
+	fv := Wrap(fakeVictim{}, Config{Seed: 9, TruncateProb: 1, TruncateFracMax: 0.5})
+	tr := run(t, fv)
+	if len(tr.Accesses) >= len(clean.Accesses) {
+		t.Fatalf("truncation did not shorten trace (%d vs %d)", len(tr.Accesses), len(clean.Accesses))
+	}
+	if fv.Stats().Truncated != 1 {
+		t.Fatalf("stats = %+v", fv.Stats())
+	}
+}
+
+// The wrapper must never mutate the inner victim's trace in place.
+func TestInnerTraceUntouched(t *testing.T) {
+	inner := &recordingVictim{}
+	fv := Wrap(inner, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		fv.Run(nil)
+	}
+	clean, _ := fakeVictim{}.Run(nil)
+	for _, tr := range inner.emitted {
+		if len(tr.Accesses) != len(clean.Accesses) {
+			t.Fatal("inner trace length mutated")
+		}
+		for j := range tr.Accesses {
+			if tr.Accesses[j] != clean.Accesses[j] {
+				t.Fatalf("inner trace event %d mutated", j)
+			}
+		}
+	}
+}
+
+type recordingVictim struct {
+	emitted []*trace.Trace
+}
+
+func (r *recordingVictim) Run(img *tensor.Tensor) (*trace.Trace, error) {
+	tr, err := fakeVictim{}.Run(img)
+	if err == nil {
+		r.emitted = append(r.emitted, tr)
+	}
+	return tr, err
+}

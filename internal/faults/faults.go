@@ -1,0 +1,80 @@
+// Package faults defines the error taxonomy shared by the victim simulator,
+// the trace analyzer, and the attack pipeline. Every failure an attack can
+// hit falls into one of a few classes with very different handling:
+//
+//   - transient device failures are retried with bounded backoff;
+//   - corrupt traces (dropped, duplicated, reordered, or truncated DRAM
+//     events) are discarded and the inference is re-run;
+//   - an unusable timing channel degrades the attack to the sparse-bound-only
+//     solution space instead of failing it;
+//   - configuration errors are permanent and surface immediately.
+//
+// Callers classify with errors.Is against the sentinels below and locate the
+// failing pipeline stage with StageOf.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel error classes. Wrap with fmt.Errorf("...: %w", ...) so errors.Is
+// classification survives arbitrary nesting.
+var (
+	// ErrTransient marks a temporary victim-device failure; the operation
+	// may succeed if retried.
+	ErrTransient = errors.New("transient device failure")
+	// ErrTraceCorrupt marks a DRAM trace that violates structural
+	// invariants (byte accounting, ordering, segmentation); the trace is
+	// unusable but a fresh inference may produce a clean one.
+	ErrTraceCorrupt = errors.New("trace corrupt")
+	// ErrTimingUnusable marks encoding-interval measurements too
+	// inconsistent to pin channel ratios; the attack can still degrade to
+	// the sparse-bound-only solution space.
+	ErrTimingUnusable = errors.New("timing channel unusable")
+	// ErrBadConfig marks an invalid configuration; retrying cannot help.
+	ErrBadConfig = errors.New("invalid configuration")
+)
+
+// Retryable reports whether err is worth retrying: a transient device
+// failure or a corrupt trace that a fresh inference may replace.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrTraceCorrupt)
+}
+
+// StageError attributes an error to a named attack-pipeline stage.
+type StageError struct {
+	// Stage names the pipeline stage that failed (e.g. "calibration").
+	Stage string
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("huffduff: stage %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Stage wraps err with the pipeline stage it occurred in; a nil err stays
+// nil. Re-wrapping keeps the innermost stage (closest to the failure).
+func Stage(stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: stage, Err: err}
+}
+
+// StageOf returns the pipeline stage an error was attributed to, if any.
+func StageOf(err error) (string, bool) {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Stage, true
+	}
+	return "", false
+}

@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelClassification(t *testing.T) {
+	err := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrTransient))
+	if !errors.Is(err, ErrTransient) {
+		t.Fatal("nested wrap lost the sentinel")
+	}
+	if errors.Is(err, ErrTraceCorrupt) {
+		t.Fatal("cross-class match")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("x: %w", ErrTransient), true},
+		{fmt.Errorf("x: %w", ErrTraceCorrupt), true},
+		{fmt.Errorf("x: %w", ErrTimingUnusable), false},
+		{fmt.Errorf("x: %w", ErrBadConfig), false},
+		{errors.New("plain"), false},
+	} {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Fatalf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestStageWrapping(t *testing.T) {
+	if Stage("probe", nil) != nil {
+		t.Fatal("nil must stay nil")
+	}
+	err := Stage("probe", fmt.Errorf("boom: %w", ErrTransient))
+	if s, ok := StageOf(err); !ok || s != "probe" {
+		t.Fatalf("StageOf = %q, %v", s, ok)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatal("stage wrap lost the sentinel")
+	}
+	// The innermost stage wins: attribution points at the failure site.
+	outer := Stage("finalize", err)
+	if s, _ := StageOf(outer); s != "probe" {
+		t.Fatalf("re-wrap changed stage to %q", s)
+	}
+	if _, ok := StageOf(errors.New("plain")); ok {
+		t.Fatal("plain error has no stage")
+	}
+}

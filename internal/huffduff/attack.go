@@ -1,9 +1,11 @@
 package huffduff
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/symconv"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
@@ -16,15 +18,81 @@ type Config struct {
 	// BlockBytes is the DRAM transaction granularity, used to correct the
 	// truncated head of the encoding interval (§7.2's "small inaccuracy").
 	BlockBytes int
+	// Converge enables §8.2's trial-escalation loop: the geometry solve is
+	// repeated on a doubling trial schedule and convergence is declared
+	// when two consecutive solves agree on every geometry (SameGeometry).
+	// The full-trial solve always decides the returned result — observed
+	// patterns only get finer with more trials (§5.4's one-sided error) —
+	// while the loop feeds Result.Converged/TrialsConverged and the
+	// per-layer confidence scores.
+	Converge bool
+	// ConvergeStart is the first trial count of the escalation schedule
+	// (0 selects Trials/4, with a minimum of 2).
+	ConvergeStart int
+	// TimingTolerance is the maximum robust relative dispersion
+	// (1.4826·MAD/median) tolerated in a conv layer's Δt samples before the
+	// timing channel is declared unusable (0 disables the check).
+	TimingTolerance float64
+	// DegradeOnTimingFault turns an unusable timing channel (or a timing-
+	// driven finalization failure) into a degraded, sparse-bound-only
+	// solution space — Result.Degraded with a reason — instead of a failed
+	// attack.
+	DegradeOnTimingFault bool
+	// EscalateNoiseTolerant re-collects in the §9.2 repeated-measurement
+	// mode when the pattern solve finds no consistent geometry, before
+	// giving up.
+	EscalateNoiseTolerant bool
 }
 
-// DefaultConfig matches the paper's evaluation setup.
+// DefaultConfig matches the paper's evaluation setup: a clean simulated
+// victim, no retries beyond the ProbeConfig default, fail-fast semantics.
 func DefaultConfig() Config {
 	return Config{
 		Probe:      DefaultProbeConfig(),
 		Finalize:   DefaultFinalizeConfig(),
 		BlockBytes: 64,
 	}
+}
+
+// DefaultRobustConfig returns the hardened pipeline configuration used
+// against faulty victims (see internal/chaos): min-over-repeats collection
+// with bounded retries, the §8.2 convergence loop, timing-dispersion checks
+// with graceful degradation, and noise-tolerant escalation on solve failure.
+func DefaultRobustConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Probe.Robust = true
+	// Re-running an inference is ~1000x cheaper than a solve, and at the
+	// default chaos intensities roughly a third of traces are detectably
+	// corrupt, so a deep retry budget is the right trade: 15 retries push
+	// the chance of wrongly giving up on one observation below 1e-7.
+	cfg.Probe.MaxRetries = 15
+	cfg.Converge = true
+	// A clean device's Δt is input-invariant, so any sample dispersion is
+	// measurement jitter; the clamped-jitter median bias runs at roughly
+	// half the dispersion, and pinning a 16-channel layer needs ratio
+	// error under ~3%, so degrade once dispersion exceeds 5%.
+	cfg.TimingTolerance = 0.05
+	cfg.DegradeOnTimingFault = true
+	cfg.EscalateNoiseTolerant = true
+	return cfg
+}
+
+// Validate rejects configurations that would panic or silently misbehave
+// downstream. Errors wrap faults.ErrBadConfig.
+func (cfg Config) Validate() error {
+	if cfg.BlockBytes <= 0 {
+		return fmt.Errorf("huffduff: BlockBytes = %d, need a positive DRAM transaction size: %w", cfg.BlockBytes, faults.ErrBadConfig)
+	}
+	if cfg.ConvergeStart < 0 {
+		return fmt.Errorf("huffduff: ConvergeStart = %d is negative: %w", cfg.ConvergeStart, faults.ErrBadConfig)
+	}
+	if cfg.TimingTolerance < 0 {
+		return fmt.Errorf("huffduff: TimingTolerance = %g is negative: %w", cfg.TimingTolerance, faults.ErrBadConfig)
+	}
+	if err := cfg.Probe.Validate(); err != nil {
+		return err
+	}
+	return cfg.Finalize.Validate()
 }
 
 // Result is everything the attack recovers.
@@ -35,70 +103,309 @@ type Result struct {
 	Dims   *SpatialDims
 	Timing *TimingResult
 	Space  *SolutionSpace
+	// Confidence maps each conv and pool node to a (0,1] score combining
+	// pattern-match exactness, hypothesis ties, and stability across the
+	// convergence loop's solves (1 when Converge is off and the match was
+	// exact and untied).
+	Confidence map[int]float64
+	// Converged reports whether two consecutive solves of the escalation
+	// schedule agreed on every geometry (§8.2's criterion); TrialsConverged
+	// is the smallest trial count from which every scheduled solve agreed
+	// with the final geometry. Only populated when Config.Converge is set.
+	Converged       bool
+	TrialsConverged int
+	// Degraded marks a sparse-bound-only solution space produced because
+	// the timing channel was unusable; DegradedReason says why.
+	Degraded       bool
+	DegradedReason string
+	// VictimRetries counts inferences re-run due to transient device
+	// failures or corrupt traces.
+	VictimRetries int
 }
 
 // Attack runs the full HuffDuff pipeline against a victim device:
 //
-//  1. one calibration inference recovers the dataflow graph, footprints,
-//     and encoding intervals from RAW dependencies (§3.2);
+//  1. replicated calibration inferences recover the dataflow graph,
+//     footprints, and encoding intervals from RAW dependencies (§3.2),
+//     cross-checked against each other to reject corrupted observations;
 //  2. the boundary-effect probing campaign recovers every conv layer's
-//     kernel/stride/pool via the symbolic engine (§5–6);
-//  3. the psum-encoding timing channel recovers output-channel ratios (§7);
+//     kernel/stride/pool via the symbolic engine (§5–6), retrying
+//     transient failures and corrupt traces;
+//  3. the psum-encoding timing channel recovers output-channel ratios
+//     (§7) from the median of per-inference encoding intervals;
 //  4. the first-layer sparsity bound pins the ratios to absolute channel
 //     counts, yielding the final candidate set (§8.2).
+//
+// Failures carry the pipeline stage that died (faults.StageOf) and a
+// sentinel class (errors.Is against faults.ErrTransient etc.). When the
+// timing channel is unusable and Config.DegradeOnTimingFault is set, the
+// attack degrades instead of failing: the returned Result has Degraded set
+// and a sparse-bound-only solution space that still contains the truth.
 func Attack(victim Victim, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, faults.Stage("config", err)
+	}
 	fin := cfg.Finalize
 	// The solver's consistency filters and the finalizer must agree on the
 	// device model.
 	cfg.Probe.Consistency = &fin
 	cfg.Probe.BlockBytes = cfg.BlockBytes
+
+	res := &Result{}
+
 	// 1. Calibration.
+	g, err := calibrate(victim, cfg, res)
+	if err != nil {
+		return nil, faults.Stage("calibration", err)
+	}
+	res.Graph = g
+
+	// 2. Probing campaign.
+	data, err := Collect(victim, g, fin.InC, fin.InH, fin.InW, cfg.Probe)
+	if err != nil {
+		return nil, faults.Stage("probe", err)
+	}
+	res.VictimRetries += data.Retries
+
+	// 3. Geometry solve, with the §8.2 convergence loop and — if the solve
+	// finds no consistent geometry — one escalation into the §9.2
+	// repeated-measurement mode.
+	pr, conv, serr := solveConverged(data, cfg)
+	if serr != nil && cfg.EscalateNoiseTolerant && !cfg.Probe.NoiseTolerant {
+		ncfg := cfg.Probe
+		ncfg.NoiseTolerant = true
+		nd, nerr := Collect(victim, g, fin.InC, fin.InH, fin.InW, ncfg)
+		if nerr != nil {
+			return nil, faults.Stage("probe", fmt.Errorf("noise-tolerant escalation after solve failure (%v): %w", serr, nerr))
+		}
+		res.VictimRetries += nd.Retries
+		if pr2, conv2, serr2 := solveConverged(nd, cfg); serr2 == nil {
+			data, pr, conv, serr = nd, pr2, conv2, nil
+		} else {
+			serr = fmt.Errorf("pattern solve failed in plain (%v) and noise-tolerant (%w) modes", serr, serr2)
+		}
+	}
+	if serr != nil {
+		return nil, faults.Stage("solve", serr)
+	}
+	res.Data, res.Probe = data, pr
+	res.Converged, res.TrialsConverged, res.Confidence = conv.converged, conv.trialsConverged, conv.confidence
+
+	// 4. Spatial propagation.
+	dims, err := PropagateDims(g, pr, fin.InH)
+	if err != nil {
+		return nil, faults.Stage("geometry", err)
+	}
+	res.Dims = dims
+
+	// 5. Timing channel — from the per-inference Δt samples the campaign
+	// gathered, falling back to the calibration interval if none exist.
+	var terr error
+	if len(data.Enc) > 0 {
+		res.Timing, terr = TimingChannelFromSamples(g, dims, data.Enc, cfg.TimingTolerance)
+	} else {
+		res.Timing, terr = TimingChannel(g, dims, cfg.BlockBytes)
+	}
+
+	// 6. Solution space, with graceful degradation when the timing channel
+	// cannot be trusted.
+	if terr == nil {
+		space, ferr := Finalize(g, pr, dims, res.Timing, fin)
+		if ferr == nil {
+			res.Space = space
+			return res, nil
+		}
+		if !cfg.DegradeOnTimingFault {
+			return nil, faults.Stage("finalize", ferr)
+		}
+		terr = fmt.Errorf("finalize rejected the timing-pinned space (%v): %w", ferr, faults.ErrTimingUnusable)
+	} else if !cfg.DegradeOnTimingFault || !errors.Is(terr, faults.ErrTimingUnusable) {
+		return nil, faults.Stage("timing", terr)
+	}
+	space, derr := FinalizeDegraded(g, pr, dims, fin)
+	if derr != nil {
+		return nil, faults.Stage("finalize", fmt.Errorf("degraded fallback after %v: %w", terr, derr))
+	}
+	res.Space = space
+	res.Degraded = true
+	res.DegradedReason = terr.Error()
+	return res, nil
+}
+
+// calibrationReplicas is how many independent calibration inferences are
+// cross-checked against each other. Graph structure, dependencies, and
+// weight footprints are input-invariant, so replicas must agree exactly on
+// them; per-segment volumes keep the minimum across replicas, since every
+// surviving noise source (padding-style inflation) is strictly additive.
+const calibrationReplicas = 2
+
+func calibrate(victim Victim, cfg Config, res *Result) (*ObsGraph, error) {
+	fin := cfg.Probe.Consistency
 	rng := newRNG(cfg.Probe.Seed + 7919)
 	img := tensor.New(fin.InC, fin.InH, fin.InW)
 	img.Uniform(rng, 0.05, 0.95)
-	tr, err := victim.Run(img)
-	if err != nil {
-		return nil, fmt.Errorf("huffduff: calibration inference: %w", err)
+	run := func() ([]trace.SegmentObs, error) {
+		obs, retries, err := runObserved(victim, img, cfg.Probe, nil)
+		res.VictimRetries += retries
+		return obs, err
 	}
-	segs, err := trace.Analyze(tr)
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Probe.MaxRetries; attempt++ {
+		merged, err := run()
+		if err != nil {
+			return nil, err // runObserved already spent the retry budget
+		}
+		ok := true
+		for r := 1; r < calibrationReplicas; r++ {
+			b, err := run()
+			if err != nil {
+				return nil, err
+			}
+			if merged, err = mergeCalibration(merged, b); err != nil {
+				lastErr, ok = err, false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		g, err := BuildGraph(merged)
+		if err == nil {
+			return g, nil
+		}
+		if !faults.Retryable(err) {
+			return nil, err
+		}
+		lastErr = err
 	}
-	g, err := BuildGraph(segs)
-	if err != nil {
-		return nil, err
+	return nil, fmt.Errorf("calibration replicas never agreed: %w", lastErr)
+}
+
+// mergeCalibration reconciles two calibration replicas: structure must
+// match, volumes keep the minimum, and the encoding interval keeps the
+// shorter observation (jitter clamping only stretches intervals).
+func mergeCalibration(a, b []trace.SegmentObs) ([]trace.SegmentObs, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("huffduff: calibration replicas disagree: %d vs %d segments: %w", len(a), len(b), faults.ErrTraceCorrupt)
+	}
+	out := append([]trace.SegmentObs(nil), a...)
+	for i := range a {
+		if a[i].WeightBytes != b[i].WeightBytes {
+			return nil, fmt.Errorf("huffduff: calibration replicas disagree on segment %d weight bytes (%d vs %d): %w",
+				i, a[i].WeightBytes, b[i].WeightBytes, faults.ErrTraceCorrupt)
+		}
+		if !equalInts(a[i].Deps, b[i].Deps) {
+			return nil, fmt.Errorf("huffduff: calibration replicas disagree on segment %d deps (%v vs %v): %w",
+				i, a[i].Deps, b[i].Deps, faults.ErrTraceCorrupt)
+		}
+		if b[i].OutputBytes < out[i].OutputBytes {
+			out[i].OutputBytes = b[i].OutputBytes
+		}
+		if b[i].InputBytes < out[i].InputBytes {
+			out[i].InputBytes = b[i].InputBytes
+		}
+		if b[i].EncodingTime() < out[i].EncodingTime() {
+			out[i].FirstWrite, out[i].LastWrite = b[i].FirstWrite, b[i].LastWrite
+		}
+	}
+	return out, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// convergence is the §8.2 trial-escalation report.
+type convergence struct {
+	converged       bool
+	trialsConverged int
+	confidence      map[int]float64
+}
+
+// solveConverged runs the solve schedule: with Config.Converge, a doubling
+// sequence of trial counts ending at the full collected count; otherwise
+// the single full-trial solve. The full-trial result is always the answer;
+// the earlier solves feed the convergence report and per-layer confidence.
+func solveConverged(data *ProbeData, cfg Config) (*ProbeResult, convergence, error) {
+	total := data.Cfg.Trials
+	var schedule []int
+	if cfg.Converge {
+		start := cfg.ConvergeStart
+		if start == 0 {
+			start = total / 4
+		}
+		if start < 2 {
+			start = 2
+		}
+		for t := start; t < total; t *= 2 {
+			schedule = append(schedule, t)
+		}
+	}
+	schedule = append(schedule, total)
+
+	results := make([]*ProbeResult, len(schedule))
+	var lastErr error
+	for i, t := range schedule {
+		pr, err := data.Solve(t)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		results[i] = pr
+	}
+	final := results[len(results)-1]
+	if final == nil {
+		return nil, convergence{}, lastErr
 	}
 
-	// 2. Probing. All collected trials inform the solve: observed patterns
-	// only get finer with more trials (§5.4's one-sided error), so the
-	// full-trial solve dominates any early-stopping variant. SameGeometry
-	// with Solve(t) for t < Trials exposes the paper's convergence-vs-T
-	// curve (§8.2) to benches and tools.
-	data, err := Collect(victim, g, fin.InC, fin.InH, fin.InW, cfg.Probe)
-	if err != nil {
-		return nil, err
+	out := convergence{confidence: map[int]float64{}}
+	stableFrom := len(results) - 1
+	for i := len(results) - 1; i >= 0; i-- {
+		if results[i] == nil || !SameGeometry(results[i], final) {
+			break
+		}
+		stableFrom = i
 	}
-	pr, err := data.Solve(cfg.Probe.Trials)
-	if err != nil {
-		return nil, err
-	}
+	out.trialsConverged = schedule[stableFrom]
+	out.converged = stableFrom < len(results)-1
 
-	// 3. Timing channel.
-	dims, err := PropagateDims(g, pr, fin.InH)
-	if err != nil {
-		return nil, err
+	solved := 0
+	for _, r := range results {
+		if r != nil {
+			solved++
+		}
 	}
-	tm, err := TimingChannel(g, dims, cfg.BlockBytes)
-	if err != nil {
-		return nil, err
+	stability := func(agree func(r *ProbeResult) bool) float64 {
+		n := 0
+		for _, r := range results {
+			if r != nil && agree(r) {
+				n++
+			}
+		}
+		return float64(n) / float64(solved)
 	}
-
-	// 4. Solution space.
-	space, err := Finalize(g, pr, dims, tm, fin)
-	if err != nil {
-		return nil, err
+	for id, geom := range final.Geoms {
+		c := stability(func(r *ProbeResult) bool { return r.Geoms[id] == geom })
+		if n := len(final.Candidates[id]); n > 1 {
+			c /= float64(n)
+		}
+		if !final.Exact[id] {
+			c *= 0.5
+		}
+		out.confidence[id] = c
 	}
-	return &Result{Graph: g, Data: data, Probe: pr, Dims: dims, Timing: tm, Space: space}, nil
+	for id, f := range final.PoolFactors {
+		out.confidence[id] = stability(func(r *ProbeResult) bool { return r.PoolFactors[id] == f })
+	}
+	return final, out, nil
 }
 
 // SameGeometry reports whether two probe results agree on every conv

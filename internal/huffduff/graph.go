@@ -8,6 +8,7 @@ package huffduff
 import (
 	"fmt"
 
+	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
 )
@@ -73,8 +74,12 @@ type ObsGraph struct {
 //   - weightless segments with two producers are residual adds;
 //   - weightless segments with one producer are pooling passes.
 func BuildGraph(obs []trace.SegmentObs) (*ObsGraph, error) {
+	// Structural failures here mean the observed trace does not describe a
+	// layerwise CNN execution — on a known-good victim that is a corrupted
+	// observation, so the errors wrap faults.ErrTraceCorrupt and callers may
+	// re-run the inference.
 	if len(obs) < 2 {
-		return nil, fmt.Errorf("huffduff: trace has %d segments; no layers to attack", len(obs))
+		return nil, fmt.Errorf("huffduff: trace has %d segments; no layers to attack: %w", len(obs), faults.ErrTraceCorrupt)
 	}
 	g := &ObsGraph{}
 	for i, o := range obs {
@@ -89,7 +94,7 @@ func BuildGraph(obs []trace.SegmentObs) (*ObsGraph, error) {
 		switch {
 		case i == 0:
 			if o.InputBytes != 0 || o.WeightBytes != 0 {
-				return nil, fmt.Errorf("huffduff: segment 0 reads data; not an input DMA")
+				return nil, fmt.Errorf("huffduff: segment 0 reads data; not an input DMA: %w", faults.ErrTraceCorrupt)
 			}
 			n.Kind = NodeInput
 		case o.WeightBytes > 0 && i == len(obs)-1:
@@ -101,7 +106,7 @@ func BuildGraph(obs []trace.SegmentObs) (*ObsGraph, error) {
 		case len(o.Deps) == 1:
 			n.Kind = NodePool
 		default:
-			return nil, fmt.Errorf("huffduff: segment %d unclassifiable (%d deps, no weights)", i, len(o.Deps))
+			return nil, fmt.Errorf("huffduff: segment %d unclassifiable (%d deps, no weights): %w", i, len(o.Deps), faults.ErrTraceCorrupt)
 		}
 		g.Nodes = append(g.Nodes, n)
 	}

@@ -30,6 +30,9 @@ func deployVictim(t *testing.T, arch *models.Arch, keep float64) (*accel.Machine
 
 func attackVictim(t *testing.T, arch *models.Arch, keep float64, cfg Config) (*Result, *models.Binding) {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("full attack campaign; the race-instrumented simulator is an order of magnitude slower")
+	}
 	m, bind := deployVictim(t, arch, keep)
 	res, err := Attack(m, cfg)
 	if err != nil {
@@ -345,6 +348,9 @@ func TestSampleSolutions(t *testing.T) {
 }
 
 func TestDefenceBreaksNaiveProber(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full attack campaign; the race-instrumented simulator is an order of magnitude slower")
+	}
 	arch := models.SmallCNN()
 	rng := rand.New(rand.NewSource(55))
 	bind, err := arch.Build(rng)

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/probe"
 	"github.com/huffduff/huffduff/internal/symconv"
+	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
 )
 
@@ -48,6 +51,29 @@ type ProbeConfig struct {
 	BlockBytes int
 	// Seed drives probe value randomness.
 	Seed int64
+	// MaxRetries bounds per-inference retries on transient victim failures
+	// and corrupt traces (faults.Retryable); 0 disables retry.
+	MaxRetries int
+	// RetryBackoff is the base sleep before a retry, doubling per attempt.
+	// The simulated victim needs none (the default); a real probe rig
+	// would set it to ride out device resets.
+	RetryBackoff time.Duration
+	// Robust enables the fault-hardened collection mode: each probe
+	// inference runs at least RobustRepeats times and until the last two
+	// runs agree on every node's volume (capped at RobustRepeats+3), with
+	// per-node volumes aggregating by minimum — after trace-consistency
+	// retries the surviving noise (§9.1-style padding) is strictly
+	// additive, so the minimum over any clean run recovers the true value.
+	Robust bool
+	// RobustRepeats is the minimum per-probe repetition count in Robust
+	// mode (0 selects the default of 2).
+	RobustRepeats int
+	// RobustMismatchBudget is how many (family, trial) disagreements two
+	// probe positions may show and still be related by the partition
+	// (default 0: strict equality). Leave it at 0 unless noise survives
+	// the repeat-until-agreement aggregation — any tolerance also forgives
+	// rare genuine boundary distinctions.
+	RobustMismatchBudget int
 }
 
 // DefaultProbeConfig returns the configuration used in the evaluation.
@@ -63,7 +89,59 @@ func DefaultProbeConfig() ProbeConfig {
 		Consistency:     &fin,
 		BlockBytes:      64,
 		Seed:            1,
+		MaxRetries:      4,
 	}
+}
+
+// Validate rejects configurations that would panic or silently misbehave
+// downstream. Errors wrap faults.ErrBadConfig.
+func (cfg ProbeConfig) Validate() error {
+	bad := func(format string, args ...any) error {
+		args = append(args, faults.ErrBadConfig)
+		return fmt.Errorf("huffduff: "+format+": %w", args...)
+	}
+	if cfg.Trials < 1 {
+		return bad("Trials = %d, need at least 1 probe trial", cfg.Trials)
+	}
+	if cfg.Q < 2 {
+		return bad("Q = %d, need at least 2 probe positions", cfg.Q)
+	}
+	for _, l := range []struct {
+		name string
+		vals []int
+		min  int
+	}{
+		{"Kernels", cfg.Kernels, 1},
+		{"Strides", cfg.Strides, 1},
+		{"Pools", cfg.Pools, 1},
+	} {
+		if len(l.vals) == 0 {
+			return bad("empty %s hypothesis list", l.name)
+		}
+		for _, v := range l.vals {
+			if v < l.min {
+				return bad("%s hypothesis %d below minimum %d", l.name, v, l.min)
+			}
+		}
+	}
+	for _, v := range cfg.PoolNodeFactors {
+		if v < 1 {
+			return bad("PoolNodeFactors hypothesis %d below minimum 1", v)
+		}
+	}
+	if cfg.BlockBytes < 0 {
+		return bad("BlockBytes = %d is negative", cfg.BlockBytes)
+	}
+	if cfg.NoiseRepeats < 0 || cfg.RobustRepeats < 0 {
+		return bad("negative repeat count (NoiseRepeats=%d, RobustRepeats=%d)", cfg.NoiseRepeats, cfg.RobustRepeats)
+	}
+	if cfg.MaxRetries < 0 || cfg.RetryBackoff < 0 {
+		return bad("negative retry budget (MaxRetries=%d, RetryBackoff=%v)", cfg.MaxRetries, cfg.RetryBackoff)
+	}
+	if cfg.Consistency != nil {
+		return cfg.Consistency.Validate()
+	}
+	return nil
 }
 
 // hypotheses enumerates the per-layer geometry space in canonical order
@@ -104,12 +182,69 @@ type ProbeData struct {
 	Sigma   []float64
 	Repeats int
 	Cfg     ProbeConfig
+	// Enc[node] holds one head-corrected encoding-interval sample per
+	// accepted inference — the raw material for the robust timing channel
+	// (§7 via the median instead of a single calibration observation).
+	Enc [][]float64
+	// Retries counts inferences re-run due to transient victim failures or
+	// corrupt traces during this campaign.
+	Retries int
 }
 
-// Collect runs the probing campaign: Trials × families × Q inferences.
+// runObserved runs one victim inference, analyzes the trace, and validates
+// it (trace.Validate plus the optional caller check), retrying transient
+// failures and corrupt traces up to cfg.MaxRetries times with exponential
+// backoff from cfg.RetryBackoff. It returns the accepted observation and
+// how many retries were spent.
+func runObserved(victim Victim, img *tensor.Tensor, cfg ProbeConfig, check func([]trace.SegmentObs) error) ([]trace.SegmentObs, int, error) {
+	runOnce := func() ([]trace.SegmentObs, error) {
+		tr, err := victim.Run(img)
+		if err != nil {
+			return nil, fmt.Errorf("huffduff: victim inference: %w", err)
+		}
+		obs, err := trace.Analyze(tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Validate(obs); err != nil {
+			return nil, err
+		}
+		if check != nil {
+			if err := check(obs); err != nil {
+				return nil, err
+			}
+		}
+		return obs, nil
+	}
+	retries := 0
+	backoff := cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		obs, err := runOnce()
+		if err == nil {
+			return obs, retries, nil
+		}
+		if !faults.Retryable(err) || attempt >= cfg.MaxRetries {
+			if attempt > 0 {
+				err = fmt.Errorf("%w (after %d attempts)", err, attempt+1)
+			}
+			return nil, retries, err
+		}
+		retries++
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// Collect runs the probing campaign: Trials × families × Q inferences
+// (times the per-probe repeat count in Robust or NoiseTolerant mode). Every
+// trace is cross-checked against the calibration graph — segment count and
+// weight footprints are input-invariant — and against trace.Validate's byte
+// accounting; failing inferences are retried within cfg.MaxRetries.
 func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*ProbeData, error) {
-	if cfg.Trials < 1 || cfg.Q < 2 {
-		return nil, fmt.Errorf("huffduff: need at least 1 trial and 2 probe positions")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	families := []probe.Pattern{
 		{M: 0, N: 1, Q: cfg.Q, FeatRow: inH / 2},
@@ -134,7 +269,9 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 		}
 	}
 	pd.Repeats = 1
-	if cfg.NoiseTolerant {
+	aggMin := false
+	switch {
+	case cfg.NoiseTolerant:
 		pd.Repeats = cfg.NoiseRepeats
 		if pd.Repeats < 2 {
 			pd.Repeats = 25
@@ -149,32 +286,54 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 				}
 			}
 		}
+	case cfg.Robust:
+		pd.Repeats = cfg.RobustRepeats
+		if pd.Repeats < 2 {
+			pd.Repeats = 2
+		}
+		aggMin = true
 	}
 	pd.Sigma = make([]float64, len(g.Nodes))
+	pd.Enc = make([][]float64, len(g.Nodes))
 	varSum := make([]float64, len(g.Nodes))
 	varCnt := 0
 	rng := newRNG(cfg.Seed)
-	runOne := func(fam probe.Pattern, vals probe.Values, q int) ([]int, error) {
-		img := probe.Image(fam, vals, q, inC, inH, inW)
-		tr, err := victim.Run(img)
-		if err != nil {
-			return nil, fmt.Errorf("huffduff: probe inference failed: %w", err)
-		}
-		obs, err := trace.Analyze(tr)
-		if err != nil {
-			return nil, err
-		}
+	// Weight footprints and segmentation are input-invariant, so every
+	// probe trace must reproduce the calibration structure exactly; a
+	// mismatch means a corrupted observation, not a different victim.
+	check := func(obs []trace.SegmentObs) error {
 		if len(obs) != len(g.Nodes) {
-			return nil, fmt.Errorf("huffduff: probe trace has %d segments, calibration had %d", len(obs), len(g.Nodes))
+			return fmt.Errorf("huffduff: probe trace has %d segments, calibration had %d: %w",
+				len(obs), len(g.Nodes), faults.ErrTraceCorrupt)
 		}
-		out := make([]int, len(obs))
-		for n := 1; n < len(obs); n++ {
-			out[n] = obs[n].OutputBytes
+		for n := range obs {
+			if obs[n].WeightBytes != g.Nodes[n].WeightBytes {
+				return fmt.Errorf("huffduff: probe trace segment %d weight bytes %d, calibration had %d: %w",
+					n, obs[n].WeightBytes, g.Nodes[n].WeightBytes, faults.ErrTraceCorrupt)
+			}
 		}
-		return out, nil
+		return nil
+	}
+	runOne := func(fam probe.Pattern, vals probe.Values, q int) ([]trace.SegmentObs, error) {
+		img := probe.Image(fam, vals, q, inC, inH, inW)
+		obs, retries, err := runObserved(victim, img, cfg, check)
+		pd.Retries += retries
+		return obs, err
 	}
 	sums := make([]float64, len(g.Nodes))
 	sqs := make([]float64, len(g.Nodes))
+	mins := make([]int, len(g.Nodes))
+	cur := make([]int, len(g.Nodes))
+	prev := make([]int, len(g.Nodes))
+	// In Robust mode, repeat beyond RobustRepeats until two consecutive
+	// runs agree on every node volume: residual consistent padding (which
+	// passes byte accounting) then has to inflate the same node by the
+	// same amount twice in a row to be believed, and the minimum over all
+	// runs recovers the clean value whenever any single run was clean.
+	maxRep := pd.Repeats
+	if aggMin {
+		maxRep += 3
+	}
 	for t := 0; t < cfg.Trials; t++ {
 		for fi, fam := range families {
 			vals := probe.RandomValues(rng, fam)
@@ -182,29 +341,54 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 				for n := range sums {
 					sums[n], sqs[n] = 0, 0
 				}
-				for r := 0; r < pd.Repeats; r++ {
-					bytes, err := runOne(fam, vals, q)
+				reps := 0
+				for r := 0; r < maxRep; r++ {
+					obs, err := runOne(fam, vals, q)
 					if err != nil {
 						return nil, err
 					}
-					for n := 1; n < len(bytes); n++ {
-						b := float64(bytes[n])
+					agreed := r > 0
+					for n := 1; n < len(obs); n++ {
+						bytes := obs[n].OutputBytes
+						b := float64(bytes)
 						sums[n] += b
 						sqs[n] += b * b
+						if r == 0 || bytes < mins[n] {
+							mins[n] = bytes
+						}
+						if bytes != prev[n] {
+							agreed = false
+						}
+						cur[n] = bytes
+						if dt := obs[n].EncodingTime(); dt > 0 && bytes > cfg.BlockBytes {
+							if cfg.BlockBytes > 0 {
+								dt = dt * b / (b - float64(cfg.BlockBytes))
+							}
+							pd.Enc[n] = append(pd.Enc[n], dt)
+						}
+					}
+					prev, cur = cur, prev
+					reps++
+					if reps >= pd.Repeats && (!aggMin || agreed) {
+						break
 					}
 				}
-				rr := float64(pd.Repeats)
+				rr := float64(reps)
 				for n := 1; n < len(g.Nodes); n++ {
 					mean := sums[n] / rr
-					pd.Bytes[n][fi][q][t] = int(mean + 0.5)
+					if aggMin {
+						pd.Bytes[n][fi][q][t] = mins[n]
+					} else {
+						pd.Bytes[n][fi][q][t] = int(mean + 0.5)
+					}
 					if pd.Means != nil {
 						pd.Means[n][fi][q][t] = mean
 					}
-					if pd.Repeats > 1 {
+					if reps > 1 {
 						varSum[n] += sqs[n]/rr - mean*mean
 					}
 				}
-				if pd.Repeats > 1 {
+				if reps > 1 {
 					varCnt++
 				}
 			}
@@ -226,6 +410,9 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 func (pd *ProbeData) observedPartition(node, trials int) []int {
 	if pd.Cfg.NoiseTolerant {
 		return pd.noiseTolerantPartition(node, trials)
+	}
+	if pd.Cfg.Robust {
+		return pd.tolerantExactPartition(node, trials)
 	}
 	keys := make([]string, pd.Cfg.Q)
 	for q := 0; q < pd.Cfg.Q; q++ {
@@ -251,18 +438,7 @@ func (pd *ProbeData) noiseTolerantPartition(node, trials int) []int {
 	// Two R-averaged means differ by noise with std σ·sqrt(2/R); use a 3σ
 	// acceptance band.
 	tol := 3 * pd.Sigma[node] * math.Sqrt(2/float64(pd.Repeats))
-	parent := make([]int, q)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
-		}
-		return parent[x]
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
+	uf := newUnionFind(q)
 	for i := 0; i < q; i++ {
 		for j := i + 1; j < q; j++ {
 			agree, total := 0, 0
@@ -279,15 +455,76 @@ func (pd *ProbeData) noiseTolerantPartition(node, trials int) []int {
 				}
 			}
 			if agree*2 > total {
-				union(i, j)
+				uf.union(i, j)
 			}
 		}
 	}
-	labels := make([]int, q)
-	for i := range labels {
-		labels[i] = find(i)
+	return symconv.ClassPattern(uf.labels())
+}
+
+// tolerantExactPartition is the Robust-mode partition: two probe positions
+// are related unless their (integer) volumes disagree in more than
+// RobustMismatchBudget of the (family, trial) draws, then the transitive
+// closure is taken. With the default budget of 0 this is the exact
+// partition — any nonzero tolerance also forgives the *rare genuine*
+// distinctions that §5.4 trial escalation exists to amplify (one draw can
+// be the only evidence separating conv3+pool2 from conv3+stride2), so
+// residual noise is scrubbed upstream by repeat-until-agreement
+// aggregation instead, and the budget is an explicit opt-in for rigs
+// whose noise survives even that.
+func (pd *ProbeData) tolerantExactPartition(node, trials int) []int {
+	q := pd.Cfg.Q
+	budget := pd.Cfg.RobustMismatchBudget
+	if budget < 0 {
+		budget = 0
 	}
-	return symconv.ClassPattern(labels)
+	uf := newUnionFind(q)
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			mismatch := 0
+			for f := range pd.Families {
+				for t := 0; t < trials && mismatch <= budget; t++ {
+					if pd.Bytes[node][f][i][t] != pd.Bytes[node][f][j][t] {
+						mismatch++
+					}
+				}
+			}
+			if mismatch <= budget {
+				uf.union(i, j)
+			}
+		}
+	}
+	return symconv.ClassPattern(uf.labels())
+}
+
+// unionFind is a small disjoint-set forest used by the noise-tolerant
+// partition builders.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	if u.parent[x] != x {
+		u.parent[x] = u.find(u.parent[x])
+	}
+	return u.parent[x]
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// labels returns each element's representative, suitable for ClassPattern.
+func (u *unionFind) labels() []int {
+	out := make([]int, len(u.parent))
+	for i := range out {
+		out[i] = u.find(i)
+	}
+	return out
 }
 
 // ProbeResult is the prober's output: per-node geometry.
@@ -415,17 +652,8 @@ func mathRound(x float64) int {
 // k1Bounds derives the admissible first-layer channel range from the first
 // conv's weight footprint and the empirical first-layer sparsity bound.
 func (s *solver) k1Bounds() (int, int, bool) {
-	fin := s.pd.Cfg.Consistency
 	n := s.pd.Graph.Nodes[s.firstConv]
-	geom := s.geom[s.firstConv]
-	nnz := fin.WeightNNZ(n.WeightBytes)
-	denom := geom.Kernel * geom.Kernel * fin.InC
-	k1min := (nnz + denom - 1) / denom
-	if k1min < 1 {
-		k1min = 1
-	}
-	k1max := int(float64(nnz) / ((1 - fin.MaxFirstLayerSparsity) * float64(denom)))
-	return k1min, k1max, k1max >= k1min
+	return s.pd.Cfg.Consistency.k1SparseRange(s.geom[s.firstConv], n.WeightBytes)
 }
 
 // consistent applies the §7 tie-breaking filters to a conv or pool node

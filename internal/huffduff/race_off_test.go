@@ -1,0 +1,8 @@
+//go:build !race
+
+package huffduff
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// end-to-end campaigns skip under -race to stay inside the package test
+// timeout (the instrumentation slows the simulator several-fold).
+const raceEnabled = false

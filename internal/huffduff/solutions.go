@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/models"
 )
 
@@ -32,6 +33,44 @@ func DefaultFinalizeConfig() FinalizeConfig {
 		InH:                   32,
 		InW:                   32,
 	}
+}
+
+// Validate rejects finalization parameters that would divide by zero or
+// build nonsensical architectures downstream. Errors wrap faults.ErrBadConfig.
+func (cfg FinalizeConfig) Validate() error {
+	bad := func(format string, args ...any) error {
+		args = append(args, faults.ErrBadConfig)
+		return fmt.Errorf("huffduff: "+format+": %w", args...)
+	}
+	if cfg.MaxFirstLayerSparsity < 0 || cfg.MaxFirstLayerSparsity >= 1 {
+		return bad("MaxFirstLayerSparsity = %g, need [0, 1)", cfg.MaxFirstLayerSparsity)
+	}
+	if cfg.WeightIdxBits < 0 || cfg.WeightElemBytes < 1 {
+		return bad("weight codec: %d index bits, %d element bytes", cfg.WeightIdxBits, cfg.WeightElemBytes)
+	}
+	if cfg.Classes < 1 {
+		return bad("Classes = %d, need at least 1 output", cfg.Classes)
+	}
+	if cfg.InC < 1 || cfg.InH < 1 || cfg.InW < 1 {
+		return bad("input tensor %d×%d×%d has an empty dimension", cfg.InC, cfg.InH, cfg.InW)
+	}
+	return nil
+}
+
+// k1SparseRange derives the admissible first-layer channel range from the
+// first conv's weight footprint and the empirical first-layer sparsity bound
+// (§8.2): nnz = K·k²·C·density with density ∈ [1−MaxFirstLayerSparsity, 1].
+// This bound needs no timing information, so both the solver's consistency
+// filters and the degraded finalizer share it.
+func (cfg FinalizeConfig) k1SparseRange(geom Geom, weightBytes int) (k1min, k1max int, ok bool) {
+	nnz := cfg.WeightNNZ(weightBytes)
+	denom := geom.Kernel * geom.Kernel * cfg.InC
+	k1min = (nnz + denom - 1) / denom
+	if k1min < 1 {
+		k1min = 1
+	}
+	k1max = int(float64(nnz) / ((1 - cfg.MaxFirstLayerSparsity) * float64(denom)))
+	return k1min, k1max, k1max >= k1min
 }
 
 // WeightNNZ inverts the weight codec's size model: an EIE-style format
@@ -67,11 +106,52 @@ type SolutionSpace struct {
 	// peers die to global consistency, and the paper's solution counts
 	// likewise cover only channel ambiguity.
 	GeomAmbiguity int
+	// Degraded marks a space built without the timing channel: when the
+	// encoding-interval measurements are too noisy to trust, the attack
+	// falls back to the hard constraints alone (transfer-header element
+	// bounds, the first-layer sparse weight bound, residual equal-channel
+	// joins). The space is wider but still contains the true architecture.
+	Degraded bool
+	// KBounds maps each conv node to its admissible [min, max] channel
+	// interval in a Degraded space; empty for exact spaces.
+	KBounds map[int][2]int
 }
 
 // Count returns the number of candidate architectures (one per admissible
 // first-layer channel count, matching the paper's accounting).
 func (s *SolutionSpace) Count() int { return len(s.Solutions) }
+
+// Admits reports whether a per-conv-node channel assignment lies inside the
+// space. Degraded spaces check the assignment against the KBounds intervals;
+// exact spaces check it against the enumerated solutions' channel counts.
+// Conv nodes absent from the assignment are unconstrained.
+func (s *SolutionSpace) Admits(chans map[int]int) bool {
+	if s.Degraded {
+		for id, k := range chans {
+			if b, ok := s.KBounds[id]; ok && (k < b[0] || k > b[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, sol := range s.Solutions {
+		match := true
+		for id, k := range chans {
+			u := id - 1 // node 0 is the input; unit i reconstructs node i+1
+			if u < 0 || u >= len(sol.Arch.Units) {
+				continue
+			}
+			if unit := sol.Arch.Units[u]; unit.Kind == models.UnitConv && unit.OutC != k {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
 
 // Finalize combines the prober's geometry, the timing channel's k-ratios,
 // and the first-layer sparsity bound into the final solution space.
@@ -81,25 +161,12 @@ func Finalize(g *ObsGraph, pr *ProbeResult, dims *SpatialDims, tm *TimingResult,
 		return nil, fmt.Errorf("huffduff: nothing to finalize")
 	}
 	first := tm.RefNode
-	geom1 := pr.Geoms[first]
-	nnz1 := cfg.WeightNNZ(g.Nodes[first].WeightBytes)
-	denom := geom1.Kernel * geom1.Kernel * cfg.InC
-	k1min := (nnz1 + denom - 1) / denom
-	if k1min < 1 {
-		k1min = 1
-	}
-	k1max := int(float64(nnz1) / ((1 - cfg.MaxFirstLayerSparsity) * float64(denom)))
-	if k1max < k1min {
+	k1min, k1max, ok := cfg.k1SparseRange(pr.Geoms[first], g.Nodes[first].WeightBytes)
+	if !ok {
 		return nil, fmt.Errorf("huffduff: empty first-layer channel range [%d,%d]", k1min, k1max)
 	}
 
-	space := &SolutionSpace{K1Min: k1min, K1Max: k1max, GeomAmbiguity: 1}
-	const ambiguityCap = 1 << 30
-	for _, id := range convs {
-		if n := len(pr.Candidates[id]); n > 1 && space.GeomAmbiguity < ambiguityCap {
-			space.GeomAmbiguity *= n
-		}
-	}
+	space := &SolutionSpace{K1Min: k1min, K1Max: k1max, GeomAmbiguity: geomAmbiguity(convs, pr)}
 
 	for k1 := k1min; k1 <= k1max; k1++ {
 		sol, err := buildSolution(g, pr, tm, cfg, k1)
@@ -116,7 +183,20 @@ func Finalize(g *ObsGraph, pr *ProbeResult, dims *SpatialDims, tm *TimingResult,
 	return space, nil
 }
 
-// buildSolution reconstructs a full architecture for one k1 candidate.
+// geomAmbiguity is the capped product of per-layer pattern-tie counts.
+func geomAmbiguity(convs []int, pr *ProbeResult) int {
+	const ambiguityCap = 1 << 30
+	amb := 1
+	for _, id := range convs {
+		if n := len(pr.Candidates[id]); n > 1 && amb < ambiguityCap {
+			amb *= n
+		}
+	}
+	return amb
+}
+
+// buildSolution reconstructs a full architecture for one k1 candidate by
+// scaling the timing channel's K ratios.
 func buildSolution(g *ObsGraph, pr *ProbeResult, tm *TimingResult, cfg FinalizeConfig, k1 int) (*Solution, error) {
 	// Channel counts per node.
 	chans := map[int]int{0: cfg.InC}
@@ -140,7 +220,12 @@ func buildSolution(g *ObsGraph, pr *ProbeResult, tm *TimingResult, cfg FinalizeC
 			chans[n.ID] = cfg.Classes
 		}
 	}
+	return assembleSolution(g, pr, cfg, chans, k1)
+}
 
+// assembleSolution turns a per-node channel assignment into a buildable,
+// trainable architecture plus per-unit density targets.
+func assembleSolution(g *ObsGraph, pr *ProbeResult, cfg FinalizeConfig, chans map[int]int, k1 int) (*Solution, error) {
 	arch := &models.Arch{
 		Name:       fmt.Sprintf("huffduff-candidate-k1=%d", k1),
 		InC:        cfg.InC,
@@ -189,4 +274,143 @@ func buildSolution(g *ObsGraph, pr *ProbeResult, tm *TimingResult, cfg FinalizeC
 		}
 	}
 	return &Solution{K1: k1, Arch: arch, Density: density}, nil
+}
+
+// intersect returns the overlap of two closed intervals.
+func intersect(a, b [2]int) ([2]int, bool) {
+	lo, hi := a[0], a[1]
+	if b[0] > lo {
+		lo = b[0]
+	}
+	if b[1] < hi {
+		hi = b[1]
+	}
+	return [2]int{lo, hi}, lo <= hi
+}
+
+// FinalizeDegraded builds the graceful-degradation solution space: when the
+// timing channel is unusable (jitter too wide, no samples), the attacker
+// still holds hard constraints that need no Δt measurements —
+//
+//   - each conv's output transfer volume bounds its element count: with
+//     bytes = ceil(n/8) + nnz and nnz ∈ [0, n], n ∈ [8·bytes/9, 8·bytes],
+//     so K ∈ [ceil(8·bytes/(9·oh²)), floor(8·bytes/oh²)];
+//   - the first layer's sparse weight bound (§8.2) holds regardless;
+//   - residual adds force their branch convs to equal channel counts, so
+//     joined convs share the intersection of their intervals.
+//
+// The space is flagged Degraded and carries the per-conv KBounds; its
+// Solutions enumerate the first layer's interval (midpoints elsewhere) so
+// downstream retraining tooling keeps working unchanged. Wider than the
+// timing-informed space, but guaranteed to contain the true architecture.
+func FinalizeDegraded(g *ObsGraph, pr *ProbeResult, dims *SpatialDims, cfg FinalizeConfig) (*SolutionSpace, error) {
+	convs := g.ConvNodes()
+	if len(convs) == 0 {
+		return nil, fmt.Errorf("huffduff: nothing to finalize")
+	}
+	bounds := map[int][2]int{}
+	for _, id := range convs {
+		oh := dims.OutH[id]
+		if oh <= 0 {
+			return nil, fmt.Errorf("huffduff: conv node %d has no output dims", id)
+		}
+		area := oh * oh
+		b := g.Nodes[id].OutputBytes
+		lo := (8*b + 9*area - 1) / (9 * area)
+		hi := 8 * b / area
+		if lo < 1 {
+			lo = 1
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("huffduff: conv node %d has empty channel interval [%d,%d]", id, lo, hi)
+		}
+		bounds[id] = [2]int{lo, hi}
+	}
+	first := convs[0]
+	if k1lo, k1hi, ok := cfg.k1SparseRange(pr.Geoms[first], g.Nodes[first].WeightBytes); ok {
+		iv, ok := intersect(bounds[first], [2]int{k1lo, k1hi})
+		if !ok {
+			return nil, fmt.Errorf("huffduff: first conv sparse bound [%d,%d] excludes transfer bound [%d,%d]",
+				k1lo, k1hi, bounds[first][0], bounds[first][1])
+		}
+		bounds[first] = iv
+	}
+
+	// Trace each node's channel count back to its source conv; residual adds
+	// join two sources, forcing their intervals to agree.
+	uf := newUnionFind(len(g.Nodes))
+	src := map[int]int{}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeConv:
+			src[n.ID] = n.ID
+		case NodeAdd:
+			a, okA := src[n.Deps[0]]
+			b, okB := src[n.Deps[1]]
+			if okA && okB {
+				uf.union(a, b)
+			}
+			if okA {
+				src[n.ID] = a
+			} else if okB {
+				src[n.ID] = b
+			}
+		case NodePool:
+			if s, ok := src[n.Deps[0]]; ok {
+				src[n.ID] = s
+			}
+		}
+	}
+	group := map[int][2]int{}
+	for _, id := range convs {
+		r := uf.find(id)
+		if prev, ok := group[r]; ok {
+			iv, ok := intersect(prev, bounds[id])
+			if !ok {
+				return nil, fmt.Errorf("huffduff: residual join leaves conv node %d with an empty channel interval", id)
+			}
+			group[r] = iv
+		} else {
+			group[r] = bounds[id]
+		}
+	}
+	for _, id := range convs {
+		bounds[id] = group[uf.find(id)]
+	}
+
+	space := &SolutionSpace{
+		K1Min: bounds[first][0], K1Max: bounds[first][1],
+		GeomAmbiguity: geomAmbiguity(convs, pr),
+		Degraded:      true,
+		KBounds:       bounds,
+	}
+	firstRoot := uf.find(first)
+	for k1 := bounds[first][0]; k1 <= bounds[first][1]; k1++ {
+		chans := map[int]int{0: cfg.InC}
+		for _, n := range g.Nodes {
+			switch n.Kind {
+			case NodeConv:
+				if uf.find(n.ID) == firstRoot {
+					chans[n.ID] = k1
+				} else {
+					b := bounds[n.ID]
+					chans[n.ID] = (b[0] + b[1]) / 2
+				}
+			case NodeAdd, NodePool:
+				chans[n.ID] = chans[n.Deps[0]]
+			case NodeLinear:
+				chans[n.ID] = cfg.Classes
+			}
+		}
+		sol, err := assembleSolution(g, pr, cfg, chans, k1)
+		if err != nil {
+			continue
+		}
+		space.Solutions = append(space.Solutions, *sol)
+	}
+	if len(space.Solutions) == 0 {
+		return nil, fmt.Errorf("huffduff: degraded finalization produced no candidates in [%d,%d]",
+			bounds[first][0], bounds[first][1])
+	}
+	return space, nil
 }

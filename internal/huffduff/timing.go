@@ -2,7 +2,11 @@ package huffduff
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
+
+	"github.com/huffduff/huffduff/internal/faults"
 )
 
 // newRNG centralizes seeding so the attack is reproducible end to end.
@@ -65,6 +69,13 @@ type TimingResult struct {
 	KRatio map[int]float64
 	// RefNode is the conv node ratios are normalized to (the first conv).
 	RefNode int
+	// Dispersion maps each conv node to the robust relative spread
+	// (1.4826·MAD / median) of its per-inference Δt samples. Empty for
+	// results built from a single calibration observation.
+	Dispersion map[int]float64
+	// SampleCount is how many accepted Δt samples backed each node's
+	// estimate. Empty for single-observation results.
+	SampleCount map[int]int
 }
 
 // TimingChannel converts observed encoding intervals into output-channel
@@ -99,4 +110,89 @@ func TimingChannel(g *ObsGraph, dims *SpatialDims, blockBytes int) (*TimingResul
 		res.KRatio[id] = perK[id] / perK[ref]
 	}
 	return res, nil
+}
+
+// TimingChannelFromSamples is the noise-resilient variant of TimingChannel:
+// instead of trusting one calibration observation per layer, it takes the
+// per-inference head-corrected Δt samples accumulated during the probing
+// campaign (ProbeData.Enc, already rescaled for the unobservable interval
+// head) and estimates each layer's encoding time by the sample median, which
+// jitter, duplicated events, and occasional truncations cannot drag far.
+//
+// The per-node dispersion — 1.4826·MAD/median, a robust analogue of the
+// coefficient of variation — is checked against tolerance: if any conv
+// layer's samples spread wider than that, the ratios are not trustworthy
+// and the function reports faults.ErrTimingUnusable. The partially filled
+// TimingResult is still returned alongside the error so callers can degrade
+// gracefully (Attack falls back to FinalizeDegraded) and report diagnostics.
+func TimingChannelFromSamples(g *ObsGraph, dims *SpatialDims, samples [][]float64, tolerance float64) (*TimingResult, error) {
+	convs := g.ConvNodes()
+	if len(convs) == 0 {
+		return nil, fmt.Errorf("huffduff: no conv nodes")
+	}
+	if tolerance <= 0 {
+		tolerance = 0.25
+	}
+	res := &TimingResult{
+		KRatio:      map[int]float64{},
+		Dispersion:  map[int]float64{},
+		SampleCount: map[int]int{},
+	}
+	perK := map[int]float64{}
+	var unusable error
+	for _, id := range convs {
+		p := dims.PsumH[id]
+		if p <= 0 {
+			return nil, fmt.Errorf("huffduff: conv node %d has no psum dims", id)
+		}
+		var s []float64
+		if id < len(samples) {
+			s = samples[id]
+		}
+		res.SampleCount[id] = len(s)
+		if len(s) == 0 {
+			unusable = fmt.Errorf("huffduff: conv node %d has no timing samples: %w", id, faults.ErrTimingUnusable)
+			continue
+		}
+		med := median(s)
+		if med <= 0 {
+			unusable = fmt.Errorf("huffduff: conv node %d has non-positive median encoding time: %w", id, faults.ErrTimingUnusable)
+			continue
+		}
+		dev := make([]float64, len(s))
+		for i, v := range s {
+			dev[i] = math.Abs(v - med)
+		}
+		disp := 1.4826 * median(dev) / med
+		res.Dispersion[id] = disp
+		if disp > tolerance {
+			unusable = fmt.Errorf("huffduff: conv node %d timing dispersion %.3f exceeds tolerance %.3f: %w",
+				id, disp, tolerance, faults.ErrTimingUnusable)
+			continue
+		}
+		perK[id] = med / float64(p*p)
+	}
+	if unusable != nil {
+		return res, unusable
+	}
+	ref := convs[0]
+	res.RefNode = ref
+	if perK[ref] <= 0 {
+		return res, fmt.Errorf("huffduff: reference conv node %d has zero encoding time: %w", ref, faults.ErrTimingUnusable)
+	}
+	for _, id := range convs {
+		res.KRatio[id] = perK[id] / perK[ref]
+	}
+	return res, nil
+}
+
+// median returns the middle order statistic without mutating its argument.
+func median(s []float64) float64 {
+	c := append([]float64(nil), s...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
 }

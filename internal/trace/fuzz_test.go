@@ -1,13 +1,29 @@
 package trace
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/faults"
+)
 
 // FuzzAnalyze feeds arbitrary access sequences to the analyzer: it must
-// never panic, and when it succeeds its outputs must satisfy basic
-// accounting invariants.
+// never panic, every rejection must carry the ErrTraceCorrupt sentinel, and
+// when it succeeds its outputs must satisfy basic accounting invariants.
+//
+// Each event is two input bytes: the first selects op (bit 0), size, and the
+// time step — values ≥ 192 rewind the clock, letting the fuzzer produce the
+// reordered sequences a faulty bus sniffer emits — and the second selects
+// the address.
 func FuzzAnalyze(f *testing.F) {
 	f.Add([]byte{0, 10, 1, 10, 0, 20})
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	// A reordered event: 200 ≥ 192 steps time backwards mid-trace.
+	f.Add([]byte{0, 10, 1, 10, 200, 12, 0, 20})
+	// Duplicated events: the same (op, addr) pair emitted twice.
+	f.Add([]byte{0, 10, 1, 10, 1, 10, 0, 20})
+	// A duplicated write block feeding a later read.
+	f.Add([]byte{0, 7, 0, 7, 1, 7, 0, 20})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
 			return
@@ -19,16 +35,23 @@ func FuzzAnalyze(f *testing.F) {
 			if data[i]%2 == 0 {
 				op = Write
 			}
+			if data[i] >= 192 {
+				tm -= 0.0005
+			} else {
+				tm += 0.001
+			}
 			tr.Accesses = append(tr.Accesses, Access{
 				Time:  tm,
 				Op:    op,
 				Addr:  uint64(data[i+1]) * 16,
 				Bytes: int(data[i]%7) + 1,
 			})
-			tm += 0.001
 		}
 		obs, err := Analyze(tr)
 		if err != nil {
+			if !errors.Is(err, faults.ErrTraceCorrupt) {
+				t.Fatalf("Analyze error %v does not wrap ErrTraceCorrupt", err)
+			}
 			return
 		}
 		reads, writes := tr.TotalBytes()
@@ -50,6 +73,11 @@ func FuzzAnalyze(f *testing.F) {
 		}
 		if gotR != reads || gotW != writes {
 			t.Fatalf("accounting mismatch: %d/%d vs %d/%d", gotR, gotW, reads, writes)
+		}
+		// Validate must never panic on analyzed segments; rejections must
+		// carry the corruption sentinel.
+		if verr := Validate(obs); verr != nil && !errors.Is(verr, faults.ErrTraceCorrupt) {
+			t.Fatalf("Validate error %v does not wrap ErrTraceCorrupt", verr)
 		}
 	})
 }

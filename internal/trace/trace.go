@@ -7,6 +7,8 @@ package trace
 import (
 	"fmt"
 	"sort"
+
+	"github.com/huffduff/huffduff/internal/faults"
 )
 
 // Op is a DRAM operation type.
@@ -86,7 +88,7 @@ func (s SegmentObs) EncodingTime() float64 { return s.LastWrite - s.FirstWrite }
 // segments' write ranges (the read-after-write rule of §3.2).
 func Analyze(t *Trace) ([]SegmentObs, error) {
 	if len(t.Accesses) == 0 {
-		return nil, fmt.Errorf("trace: empty trace")
+		return nil, fmt.Errorf("trace: empty trace: %w", faults.ErrTraceCorrupt)
 	}
 	// Pass 1: which addresses are ever written (weights are read-only).
 	type span struct {
@@ -101,7 +103,7 @@ func Analyze(t *Trace) ([]SegmentObs, error) {
 	for _, a := range t.Accesses[1:] {
 		prev := cur[len(cur)-1]
 		if a.Time < prev.Time {
-			return nil, fmt.Errorf("trace: accesses out of order at t=%g", a.Time)
+			return nil, fmt.Errorf("trace: accesses out of order at t=%g: %w", a.Time, faults.ErrTraceCorrupt)
 		}
 		if a.Op == Read && prev.Op == Write {
 			segments = append(segments, cur)
@@ -164,6 +166,44 @@ func Analyze(t *Trace) ([]SegmentObs, error) {
 		sort.Ints(o.Deps)
 	}
 	return obs, nil
+}
+
+// Validate cross-checks analyzed segments against the byte-accounting
+// invariants of layerwise streaming execution: segment 0 is a write-only
+// input DMA, and every later segment reads each producer tensor exactly once
+// and in full, so its InputBytes must equal the sum of its producers'
+// OutputBytes. A dropped, duplicated, or mis-ordered DRAM event almost
+// always breaks one of these equalities (only the final segment's output,
+// which nothing consumes, escapes the check), which makes Validate the
+// attacker's cheap detector for corrupted observations: on failure it
+// returns an error wrapping faults.ErrTraceCorrupt and the caller re-runs
+// the inference.
+//
+// Content-dependent noise that inflates a tensor consistently on both the
+// producing write and the consuming reads — e.g. the §9.2 randomized-padding
+// defence — passes Validate by design; it is measurement noise, not trace
+// corruption, and is handled statistically upstream.
+func Validate(obs []SegmentObs) error {
+	if len(obs) < 2 {
+		return fmt.Errorf("trace: %d segments, need an input DMA and at least one layer: %w", len(obs), faults.ErrTraceCorrupt)
+	}
+	if obs[0].InputBytes != 0 || obs[0].WeightBytes != 0 || obs[0].OutputBytes == 0 {
+		return fmt.Errorf("trace: segment 0 is not a write-only input DMA: %w", faults.ErrTraceCorrupt)
+	}
+	for _, o := range obs[1:] {
+		want := 0
+		for _, d := range o.Deps {
+			want += obs[d].OutputBytes
+		}
+		if o.InputBytes != want {
+			return fmt.Errorf("trace: segment %d reads %d bytes but its producers %v wrote %d: %w",
+				o.Index, o.InputBytes, o.Deps, want, faults.ErrTraceCorrupt)
+		}
+		if o.OutputBytes > 0 && o.LastWrite < o.FirstWrite {
+			return fmt.Errorf("trace: segment %d write window inverted: %w", o.Index, faults.ErrTraceCorrupt)
+		}
+	}
+	return nil
 }
 
 // OutputSignature extracts the per-layer output byte counts from analyzed

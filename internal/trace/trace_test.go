@@ -1,7 +1,10 @@
 package trace
 
 import (
+	"errors"
 	"testing"
+
+	"github.com/huffduff/huffduff/internal/faults"
 )
 
 func mkTrace(accs ...Access) *Trace { return &Trace{Accesses: accs} }
@@ -116,6 +119,93 @@ func TestOutputSignatureSkipsInputDMA(t *testing.T) {
 	sig := OutputSignature(obs)
 	if len(sig) != 2 || sig[0] != 20 || sig[1] != 12 {
 		t.Fatalf("signature = %v", sig)
+	}
+}
+
+// chainObs builds the analyzed form of a clean 3-segment chain for Validate
+// tests: input DMA (8B) → layer 1 (reads 8B input + 16B weights, writes 20B)
+// → layer 2 (reads 20B, writes 12B).
+func chainObs(t *testing.T) []SegmentObs {
+	t.Helper()
+	tr := mkTrace(
+		Access{Time: 0, Op: Write, Addr: 0x100, Bytes: 8},
+		Access{Time: 1, Op: Read, Addr: 0x100, Bytes: 8},
+		Access{Time: 2, Op: Read, Addr: 0x10, Bytes: 16},
+		Access{Time: 3, Op: Write, Addr: 0x200, Bytes: 20},
+		Access{Time: 4, Op: Read, Addr: 0x200, Bytes: 20},
+		Access{Time: 5, Op: Write, Addr: 0x300, Bytes: 12},
+	)
+	obs, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
+func TestValidateAcceptsCleanChain(t *testing.T) {
+	if err := Validate(chainObs(t)); err != nil {
+		t.Fatalf("clean chain rejected: %v", err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(obs []SegmentObs) []SegmentObs
+	}{
+		{"dropped read", func(obs []SegmentObs) []SegmentObs {
+			obs[1].InputBytes -= 8 // an input-read event vanished
+			return obs
+		}},
+		{"duplicated write", func(obs []SegmentObs) []SegmentObs {
+			obs[1].OutputBytes += 20 // producer volume inflated, reads not
+			return obs
+		}},
+		{"truncated to input DMA", func(obs []SegmentObs) []SegmentObs {
+			return obs[:1]
+		}},
+		{"reads in segment 0", func(obs []SegmentObs) []SegmentObs {
+			obs[0].InputBytes = 4
+			return obs
+		}},
+		{"inverted write window", func(obs []SegmentObs) []SegmentObs {
+			obs[1].FirstWrite, obs[1].LastWrite = 5, 3
+			return obs
+		}},
+	} {
+		err := Validate(tc.mutate(chainObs(t)))
+		if err == nil {
+			t.Fatalf("%s: corruption not detected", tc.name)
+		}
+		if !errors.Is(err, faults.ErrTraceCorrupt) {
+			t.Fatalf("%s: error %v does not wrap ErrTraceCorrupt", tc.name, err)
+		}
+	}
+}
+
+// Consistent padding — the producer write and every consumer read inflated
+// by the same amount, as both the §9.2 defence and the chaos pad fault do —
+// must pass Validate: it is measurement noise handled statistically, not
+// trace corruption worth a re-run.
+func TestValidateAcceptsConsistentPadding(t *testing.T) {
+	obs := chainObs(t)
+	obs[1].OutputBytes += 5
+	obs[2].InputBytes += 5
+	if err := Validate(obs); err != nil {
+		t.Fatalf("consistent padding rejected: %v", err)
+	}
+}
+
+func TestAnalyzeErrorsWrapTraceCorrupt(t *testing.T) {
+	if _, err := Analyze(&Trace{}); !errors.Is(err, faults.ErrTraceCorrupt) {
+		t.Fatalf("empty-trace error %v does not wrap ErrTraceCorrupt", err)
+	}
+	tr := mkTrace(
+		Access{Time: 1, Op: Write, Addr: 0, Bytes: 4},
+		Access{Time: 0.5, Op: Read, Addr: 0, Bytes: 4},
+	)
+	if _, err := Analyze(tr); !errors.Is(err, faults.ErrTraceCorrupt) {
+		t.Fatalf("out-of-order error %v does not wrap ErrTraceCorrupt", err)
 	}
 }
 
