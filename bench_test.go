@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/huffduff/huffduff"
 	"github.com/huffduff/huffduff/internal/accel"
@@ -24,6 +25,7 @@ import (
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/probe"
 	"github.com/huffduff/huffduff/internal/prune"
 	"github.com/huffduff/huffduff/internal/reversecnn"
@@ -413,6 +415,44 @@ func BenchmarkFig5Transfer(b *testing.B) {
 func BenchmarkFig6Transfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		transferFigure(b, 16)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Observability overhead: the same SmallCNN campaign with instrumentation
+// disabled (nil Recorder), a no-op Recorder (full call dispatch, no
+// storage), and the in-memory Collector. The nil path is the acceptance
+// bar: ≤2% over the uninstrumented baseline.
+// ---------------------------------------------------------------------------
+
+func BenchmarkRecorderOverhead(b *testing.B) {
+	campaign := func(rec huffduff.ObsRecorder) float64 {
+		arch := models.SmallCNN()
+		rng := rand.New(rand.NewSource(21))
+		bind, err := arch.Build(rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prune.GlobalMagnitude(bind.Net.Params(), 0.5)
+		m := accel.NewMachine(accel.DefaultConfig(), arch, bind)
+		cfg := attack.DefaultConfig()
+		cfg.Probe.Trials = 8
+		cfg.Obs = rec
+		start := time.Now()
+		if _, err := attack.Attack(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	for i := 0; i < b.N; i++ {
+		campaign(nil) // warm caches so the baseline isn't penalized
+		base := campaign(nil)
+		noop := campaign(obs.Noop())
+		coll := campaign(obs.NewCollector())
+		pct := func(v float64) float64 { return 100 * (v - base) / base }
+		fmt.Printf("\n[obs overhead] SmallCNN campaign: nil %.3fs, Noop %.3fs (%+.1f%%), Collector %.3fs (%+.1f%%)\n",
+			base, noop, pct(noop), coll, pct(coll))
+		fmt.Println("acceptance: disabled instrumentation (nil Recorder) costs ≤2%.")
 	}
 }
 

@@ -13,8 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
+	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/dram"
 	"github.com/huffduff/huffduff/internal/models"
@@ -23,32 +23,19 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
+	cli.Setup()
 	var (
-		model = flag.String("model", "vggs", "architecture (vggs|resnet18)")
+		model = flag.String("model", "vggs", "architecture ("+cli.ModelNames+")")
 		scale = flag.Int("scale", 8, "channel-width divisor")
 		keep  = flag.Float64("keep", 0.1, "fraction of weights kept (paper: 10x pruning)")
 		seed  = flag.Int64("seed", 1, "seed")
 	)
 	flag.Parse()
 
-	var arch *models.Arch
-	switch *model {
-	case "vggs":
-		arch = models.VGGS(*scale)
-	case "resnet18":
-		arch = models.ResNet18(*scale)
-	default:
-		log.Fatalf("unknown model %q", *model)
-	}
-	rng := rand.New(rand.NewSource(*seed))
-	bind, err := arch.Build(rng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *keep < 1 {
-		prune.GlobalMagnitude(bind.Net.Params(), *keep)
-	}
+	arch, err := cli.ArchByName(*model, *scale)
+	cli.Check(err)
+	bind, rng, err := cli.BuildPruned(arch, *seed, *keep)
+	cli.Check(err)
 
 	// One representative inference to populate psum and output tensors.
 	cfg := accel.DefaultConfig()

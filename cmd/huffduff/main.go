@@ -10,48 +10,44 @@
 // -robust to enable retries, min-over-repeats aggregation, the §8.2
 // convergence loop, and graceful degradation.
 //
+// The observability flags capture the campaign: -trace-out writes a
+// Chrome-trace/Perfetto JSON timeline of every pipeline stage down to
+// individual probe positions, -metrics-out writes the counters, gauges, and
+// histograms (plus a BENCH_attack.json summary alongside), and -v prints
+// the span tree and per-layer device telemetry after the attack.
+//
 // Usage:
 //
 //	huffduff -model resnet18 -scale 16 -keep 0.5 -trials 32
 //	huffduff -model smallcnn -chaos -robust
+//	huffduff -model smallcnn -trace-out trace.json -metrics-out metrics.json -v
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
+	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/chaos"
 	"github.com/huffduff/huffduff/internal/faults"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prune"
 )
 
-func archByName(name string, scale int) (*models.Arch, error) {
-	switch name {
-	case "smallcnn":
-		return models.SmallCNN(), nil
-	case "vggs":
-		return models.VGGS(scale), nil
-	case "resnet18":
-		return models.ResNet18(scale), nil
-	case "alexnet":
-		return models.AlexNet(scale), nil
-	case "mobilenetv2":
-		return models.MobileNetV2(scale), nil
-	}
-	return nil, fmt.Errorf("unknown model %q (want smallcnn|vggs|resnet18|alexnet|mobilenetv2)", name)
-}
-
 func main() {
-	log.SetFlags(0)
+	cli.Setup()
 	var (
-		model   = flag.String("model", "smallcnn", "victim architecture")
+		model   = flag.String("model", "smallcnn", "victim architecture ("+cli.ModelNames+")")
 		scale   = flag.Int("scale", 16, "channel-width divisor for the victim")
 		keep    = flag.Float64("keep", 0.5, "fraction of weights kept after pruning (1 = dense)")
 		trials  = flag.Int("trials", 32, "independent random probe trials T")
@@ -73,30 +69,39 @@ func main() {
 		swap      = flag.Float64("chaos-swap", -1, "per-event payload-swap probability")
 		truncP    = flag.Float64("chaos-truncate", -1, "per-trace truncation probability")
 		pad       = flag.Float64("chaos-pad", -1, "per-write padding-inflation probability")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome-trace/Perfetto JSON span timeline to this file")
+		metricsOut = flag.String("metrics-out", "", "write the campaign's metrics JSON here (plus BENCH_attack.json alongside)")
+		verbose    = flag.Bool("v", false, "print the span tree, metric counters, and per-layer device telemetry")
 	)
 	flag.Parse()
 
-	arch, err := archByName(*model, *scale)
-	if err != nil {
-		log.Fatal(err)
+	arch, err := cli.ArchByName(*model, *scale)
+	cli.Check(err)
+	bind, rng, err := cli.BuildPruned(arch, *seed, *keep)
+	cli.Check(err)
+
+	var col *obs.Collector
+	if *traceOut != "" || *metricsOut != "" || *verbose {
+		col = obs.NewCollector()
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	bind, err := arch.Build(rng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *keep < 1 {
-		prune.GlobalMagnitude(bind.Net.Params(), *keep)
-	}
+
 	acfg := accel.DefaultConfig()
 	acfg.ZeroPadProb = *defence
 	acfg.Seed = *seed
-	var victim attack.Victim = accel.NewMachine(acfg, arch, bind)
+	if col != nil {
+		acfg.Obs = col
+	}
+	machine := accel.NewMachine(acfg, arch, bind)
+	var victim attack.Victim = machine
 
 	var faulty *chaos.FaultyVictim
 	if *chaosOn {
 		ccfg := chaos.DefaultConfig()
 		ccfg.Seed = *chaosSeed
+		if col != nil {
+			ccfg.Obs = col
+		}
 		override := func(dst *float64, v float64) {
 			if v >= 0 {
 				*dst = v
@@ -126,11 +131,17 @@ func main() {
 	if *retries >= 0 {
 		cfg.Probe.MaxRetries = *retries
 	}
+	if col != nil {
+		cfg.Obs = col
+	}
 
 	fmt.Printf("victim: %s (%.0f%% weights pruned)\n", arch.Name, 100*prune.OverallSparsity(bind.Net.Params()))
 	fmt.Printf("probing: T=%d trials x 4 families x Q=%d positions\n\n", *trials, *q)
 
 	res, err := attack.Attack(victim, cfg)
+	// Flush the trace and metrics even when the attack died — a failed
+	// campaign's timeline is exactly what the post-mortem needs.
+	flushObservability(col, machine, res, *traceOut, *metricsOut)
 	if err != nil {
 		if stage, ok := faults.StageOf(err); ok {
 			fmt.Fprintf(os.Stderr, "attack failed in %s stage: %v\n", stage, err)
@@ -200,9 +211,90 @@ func main() {
 			s.Runs, s.Transients, s.Padded, s.Dropped, s.Duplicated, s.Swapped, s.Truncated)
 	}
 
+	if *verbose && col != nil {
+		fmt.Println("\nspan tree (host wall-clock):")
+		fmt.Print(col.Tree())
+		snap := col.Metrics()
+		fmt.Println("counters:")
+		for _, k := range col.SortedCounterKeys() {
+			fmt.Printf("  %-44s %g\n", k, snap.Counters[k])
+		}
+		fmt.Println("\ndevice telemetry (simulated time):")
+		fmt.Print(machine.Campaign().String())
+	}
+
 	samples := attack.SampleSolutions(sp, 3, rng)
 	fmt.Println("\nsampled candidate architectures:")
 	for _, s := range samples {
 		fmt.Printf("--- k1=%d ---\n%s", s.K1, s.Arch.String())
 	}
+}
+
+// benchReport is the BENCH_attack.json schema the CI benchmark step uploads:
+// the headline costs and outcome of one attack campaign.
+type benchReport struct {
+	VictimQueries float64            `json:"victim_queries"`
+	VictimRetries float64            `json:"victim_retries"`
+	StageSeconds  map[string]float64 `json:"stage_seconds"`
+	TotalSeconds  float64            `json:"total_seconds"`
+	// SimulatedDeviceSeconds is the victim's summed inference latency on the
+	// simulated accelerator clock — a different clock from StageSeconds.
+	SimulatedDeviceSeconds float64 `json:"simulated_device_seconds"`
+	SolutionCount          int     `json:"solution_count"`
+	Degraded               bool    `json:"degraded"`
+}
+
+// flushObservability writes the trace, metrics, and benchmark summary files
+// that were requested on the command line.
+func flushObservability(col *obs.Collector, machine *accel.Machine, res *attack.Result, traceOut, metricsOut string) {
+	if col == nil {
+		return
+	}
+	writeFile := func(path string, write func(w io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Printf("observability: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			log.Printf("observability: write %s: %v", path, err)
+		}
+	}
+	if traceOut != "" {
+		writeFile(traceOut, col.WriteTrace)
+	}
+	if metricsOut == "" {
+		return
+	}
+	writeFile(metricsOut, col.WriteMetrics)
+
+	snap := col.Metrics()
+	rep := benchReport{
+		VictimQueries: snap.Counters["victim.inferences"],
+		StageSeconds:  map[string]float64{},
+	}
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, "victim.retries{") {
+			rep.VictimRetries += v
+		}
+	}
+	for k, h := range snap.Histograms {
+		if s, ok := strings.CutPrefix(k, "stage.seconds{stage="); ok {
+			stage := strings.TrimSuffix(s, "}")
+			rep.StageSeconds[stage] += h.Sum
+			rep.TotalSeconds += h.Sum
+		}
+	}
+	rep.SimulatedDeviceSeconds = machine.Campaign().SimulatedTime
+	if res != nil && res.Space != nil {
+		rep.SolutionCount = res.Space.Count()
+		rep.Degraded = res.Degraded
+	}
+	bench := filepath.Join(filepath.Dir(metricsOut), "BENCH_attack.json")
+	writeFile(bench, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(rep)
+	})
 }

@@ -1,0 +1,60 @@
+// Package cli holds the plumbing shared by every huffduff command-line
+// tool: logger setup, the model-name registry, and victim construction.
+package cli
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/prune"
+)
+
+// ModelNames is the canonical model list for flag help strings.
+const ModelNames = "smallcnn|vggs|resnet18|alexnet|mobilenetv2"
+
+// Setup configures the standard logger the way every tool wants it: bare
+// messages, no timestamp prefix.
+func Setup() {
+	log.SetFlags(0)
+}
+
+// Check aborts the tool on a non-nil error.
+func Check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// ArchByName resolves a -model flag value to a victim architecture.
+func ArchByName(name string, scale int) (*models.Arch, error) {
+	switch name {
+	case "smallcnn":
+		return models.SmallCNN(), nil
+	case "vggs":
+		return models.VGGS(scale), nil
+	case "resnet18":
+		return models.ResNet18(scale), nil
+	case "alexnet":
+		return models.AlexNet(scale), nil
+	case "mobilenetv2":
+		return models.MobileNetV2(scale), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (want %s)", name, ModelNames)
+}
+
+// BuildPruned instantiates a victim's weights from seed and applies global
+// magnitude pruning when keep < 1. The returned rng continues the same
+// stream, so callers get reproducible follow-on randomness.
+func BuildPruned(arch *models.Arch, seed int64, keep float64) (*models.Binding, *rand.Rand, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	if keep < 1 {
+		prune.GlobalMagnitude(bind.Net.Params(), keep)
+	}
+	return bind, rng, nil
+}

@@ -10,14 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
+	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/reversecnn"
 )
 
 func main() {
-	log.SetFlags(0)
+	cli.Setup()
 	var (
 		alpha = flag.Float64("alpha", 0.999, "assumed upper bound on weight sparsity (Eq. 11)")
 		act   = flag.Float64("act", 0.5, "assumed post-ReLU activation density for the pruned victim")
@@ -27,25 +27,15 @@ func main() {
 	fmt.Printf("%-12s %16s %22s %8s\n", "network", "dense solutions", "naive sparse space", "log10")
 	for _, arch := range []*models.Arch{models.ResNet18(1), models.VGGS(1)} {
 		denseObs, err := reversecnn.FromArch(arch, reversecnn.DenseProfile, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		chain, xs, cs := denseObs.ChainObs()
-		_ = xs
+		cli.Check(err)
+		chain, _, _ := denseObs.ChainObs()
 		sols, err := reversecnn.SolveDense(chain, arch.InH, arch.InC, reversecnn.DefaultSpace(), 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		_ = cs
+		cli.Check(err)
 
 		sparseObs, err := reversecnn.FromArch(arch, reversecnn.LTHProfile, *act)
-		if err != nil {
-			log.Fatal(err)
-		}
+		cli.Check(err)
 		count, err := reversecnn.SparseCount(sparseObs.Obs, sparseObs.Xs, sparseObs.Cs, *alpha, reversecnn.DefaultSpace())
-		if err != nil {
-			log.Fatal(err)
-		}
+		cli.Check(err)
 		fmt.Printf("%-12s %16d %22s %8d\n", arch.Name, len(sols), shorten(count.String()), reversecnn.OrdersOfMagnitude(count))
 	}
 	fmt.Println("\npaper (Table 1 / §4.2): dense ResNet-18 -> 8 solutions;")

@@ -11,19 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
+	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/accel"
-	"github.com/huffduff/huffduff/internal/models"
-	"github.com/huffduff/huffduff/internal/prune"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
+	cli.Setup()
 	var (
-		model = flag.String("model", "smallcnn", "architecture (smallcnn|vggs|resnet18|alexnet|mobilenetv2)")
+		model = flag.String("model", "smallcnn", "architecture ("+cli.ModelNames+")")
 		scale = flag.Int("scale", 16, "channel-width divisor")
 		keep  = flag.Float64("keep", 0.5, "fraction of weights kept")
 		seed  = flag.Int64("seed", 1, "seed")
@@ -32,30 +30,10 @@ func main() {
 	)
 	flag.Parse()
 
-	var arch *models.Arch
-	switch *model {
-	case "smallcnn":
-		arch = models.SmallCNN()
-	case "vggs":
-		arch = models.VGGS(*scale)
-	case "resnet18":
-		arch = models.ResNet18(*scale)
-	case "alexnet":
-		arch = models.AlexNet(*scale)
-	case "mobilenetv2":
-		arch = models.MobileNetV2(*scale)
-	default:
-		log.Fatalf("unknown model %q", *model)
-	}
-
-	rng := rand.New(rand.NewSource(*seed))
-	bind, err := arch.Build(rng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *keep < 1 {
-		prune.GlobalMagnitude(bind.Net.Params(), *keep)
-	}
+	arch, err := cli.ArchByName(*model, *scale)
+	cli.Check(err)
+	bind, rng, err := cli.BuildPruned(arch, *seed, *keep)
+	cli.Check(err)
 	m := accel.NewMachine(accel.DefaultConfig(), arch, bind)
 
 	img := tensor.New(arch.InC, arch.InH, arch.InW)

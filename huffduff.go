@@ -33,6 +33,7 @@
 package huffduff
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/huffduff/huffduff/internal/accel"
@@ -44,6 +45,7 @@ import (
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/nn"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prune"
 	"github.com/huffduff/huffduff/internal/reversecnn"
 	"github.com/huffduff/huffduff/internal/trace"
@@ -86,6 +88,11 @@ type (
 	DRAMSpec = dram.Spec
 	// Trace is the DRAM access trace an inference leaves behind.
 	Trace = trace.Trace
+	// LayerStats is one layer's device telemetry for a single inference.
+	LayerStats = accel.LayerStats
+	// CampaignStats is per-layer device telemetry accumulated across every
+	// inference a campaign ran (simulated device time, never host clock).
+	CampaignStats = accel.CampaignStats
 )
 
 // NewMachine deploys a built model on the simulated accelerator.
@@ -132,6 +139,39 @@ func DefaultRobustAttackConfig() AttackConfig { return attack.DefaultRobustConfi
 // Attack runs the full HuffDuff pipeline against a victim device.
 func Attack(victim Victim, cfg AttackConfig) (*AttackResult, error) {
 	return attack.Attack(victim, cfg)
+}
+
+// AttackWithContext is Attack with a caller-supplied context; an
+// ObsRecorder attached to the context (or set on cfg.Obs) receives the
+// campaign's spans and metrics.
+func AttackWithContext(ctx context.Context, victim Victim, cfg AttackConfig) (*AttackResult, error) {
+	return attack.AttackContext(ctx, victim, cfg)
+}
+
+// Observability: spans, metrics, and export.
+type (
+	// ObsRecorder receives spans and metrics from an instrumented campaign.
+	// AttackConfig.Obs, AccelConfig.Obs, and ChaosConfig.Obs all accept one;
+	// nil disables instrumentation at the cost of a nil-check per site.
+	ObsRecorder = obs.Recorder
+	// ObsCollector is the in-memory Recorder with Chrome-trace/Perfetto and
+	// metrics-JSON export (WriteTrace, WriteMetrics, Tree, Metrics).
+	ObsCollector = obs.Collector
+	// ObsSpan is one recorded wall-clock interval; End closes it.
+	ObsSpan = obs.Span
+)
+
+// NewObsCollector builds an empty in-memory span and metrics collector.
+func NewObsCollector() *ObsCollector { return obs.NewCollector() }
+
+// WithObsRecorder attaches a recorder to a context for AttackWithContext.
+func WithObsRecorder(ctx context.Context, rec ObsRecorder) context.Context {
+	return obs.WithRecorder(ctx, rec)
+}
+
+// StartSpan opens a child span on the context's recorder (no-op without one).
+func StartSpan(ctx context.Context, name string) (context.Context, *ObsSpan) {
+	return obs.Start(ctx, name)
 }
 
 // Fault injection and error taxonomy.

@@ -17,6 +17,7 @@ import (
 	"github.com/huffduff/huffduff/internal/dram"
 	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/sparse"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
@@ -54,6 +55,11 @@ type Config struct {
 	ZeroPadProb float64
 	// Seed drives the defence randomness.
 	Seed int64
+	// Obs, when set, receives per-run and per-layer device telemetry under
+	// `accel.`-prefixed metric names. All times published there are
+	// *simulated* device seconds, never host wall-clock. Nil disables
+	// emission (per-run Stats and Campaign accumulation still happen).
+	Obs obs.Recorder
 }
 
 // DefaultConfig returns an Eyeriss-v2-like accelerator with dual-channel
@@ -117,6 +123,7 @@ type Machine struct {
 	weightAddrs []addrRange // per unit
 	rng         *rand.Rand
 	stats       Stats
+	campaign    CampaignStats
 }
 
 type addrRange struct {
@@ -295,14 +302,19 @@ func (m *Machine) Run(img *tensor.Tensor) (*trace.Trace, error) {
 	for i, u := range m.Arch.Units {
 		// 1. Fetch inputs (and weights, interleaved).
 		var inputs []addrRange
+		readBytes := m.weightAddrs[i].size
 		for _, src := range u.In {
-			inputs = append(inputs, rangeOf(src))
+			r := rangeOf(src)
+			inputs = append(inputs, r)
+			readBytes += r.size
 		}
 		e.interleavedReads(inputs, m.weightAddrs[i])
 
 		// 2. Compute (zero-skipped MACs on the PE array).
 		e.t += m.computeTime(i)
-		m.accumulateCompute(i)
+		dense, effectual := m.computeLayer(i)
+		m.stats.DenseMACs += dense
+		m.stats.EffectualMACs += effectual
 
 		// 3. Post-process: encode psums on the fly and write back.
 		out := m.Bind.UnitTensor(i)
@@ -313,7 +325,19 @@ func (m *Machine) Run(img *tensor.Tensor) (*trace.Trace, error) {
 		}
 		r := alloc(outBytes)
 		outRanges[i] = r
-		m.encode(e, r, outBytes, psums)
+		encDt := m.encode(e, r, outBytes, psums)
+		m.stats.Layers = append(m.stats.Layers, LayerStats{
+			Unit:           i,
+			Name:           u.Name,
+			DRAMReadBytes:  readBytes,
+			DRAMWriteBytes: outBytes,
+			EffectualMACs:  effectual,
+			DenseMACs:      dense,
+			Psums:          psums,
+			OutBytes:       outBytes,
+			OutNNZ:         out.NNZ(0),
+			EncodeTime:     encDt,
+		})
 	}
 	m.stats.DRAMReadBytes, m.stats.DRAMWriteBytes = e.tr.TotalBytes()
 	m.finalizeStats(e.t)
@@ -350,9 +374,10 @@ func maxInt(a, b int) int {
 // available in proportion to psums consumed; completed blocks are written to
 // DRAM, which serializes at its bandwidth. The resulting write timestamps
 // are GLB-bound (panel a) or DRAM-bound (panel b) exactly as in the paper.
-func (m *Machine) encode(e *emitter, r addrRange, outBytes, psums int) {
+// It returns the simulated duration of the encoding interval.
+func (m *Machine) encode(e *emitter, r addrRange, outBytes, psums int) float64 {
 	if outBytes == 0 {
-		return
+		return 0
 	}
 	start := e.t
 	rate := m.Cfg.psumReadRate()
@@ -375,4 +400,5 @@ func (m *Machine) encode(e *emitter, r addrRange, outBytes, psums int) {
 	if dramFree > e.t {
 		e.t = dramFree
 	}
+	return dramFree - start
 }

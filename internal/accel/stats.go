@@ -1,6 +1,9 @@
 package accel
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Energy cost constants: representative per-operation energies for a
 // 28–45 nm mobile accelerator (Eyeriss-class numbers; the exact values only
@@ -14,6 +17,43 @@ const (
 	EnergyPerDRAMByte = 100.0
 )
 
+// LayerStats is the per-layer telemetry of one inference: what each
+// execution unit moved, computed, and spent in the encoding pipeline. All
+// times are *simulated* device time, never host wall-clock.
+type LayerStats struct {
+	// Unit is the Arch unit index; Name is its architectural name.
+	Unit int    `json:"unit"`
+	Name string `json:"name"`
+	// DRAM traffic attributed to this unit, in compressed on-bus bytes.
+	DRAMReadBytes  int `json:"dram_read_bytes"`
+	DRAMWriteBytes int `json:"dram_write_bytes"`
+	// EffectualMACs counts multiply-accumulates after two-sided zero
+	// skipping; DenseMACs is the dense-accelerator count (0 for units
+	// without MACs).
+	EffectualMACs float64 `json:"effectual_macs"`
+	DenseMACs     float64 `json:"dense_macs"`
+	// Psums is the dense psum count entering the encoder; OutBytes and
+	// OutNNZ describe the compressed output written back.
+	Psums    int `json:"psums"`
+	OutBytes int `json:"out_bytes"`
+	OutNNZ   int `json:"out_nnz"`
+	// EncodeTime is the simulated duration of the unit's psum-encoding
+	// interval (first to last output write), in seconds.
+	EncodeTime float64 `json:"encode_seconds"`
+}
+
+// add accumulates another observation of the same layer.
+func (l *LayerStats) add(o LayerStats) {
+	l.DRAMReadBytes += o.DRAMReadBytes
+	l.DRAMWriteBytes += o.DRAMWriteBytes
+	l.EffectualMACs += o.EffectualMACs
+	l.DenseMACs += o.DenseMACs
+	l.Psums += o.Psums
+	l.OutBytes += o.OutBytes
+	l.OutNNZ += o.OutNNZ
+	l.EncodeTime += o.EncodeTime
+}
+
 // Stats summarizes one inference on the simulated device.
 type Stats struct {
 	// DRAM traffic in bytes (compressed, as on the bus).
@@ -21,10 +61,13 @@ type Stats struct {
 	// EffectualMACs counts multiply-accumulates after two-sided zero
 	// skipping; DenseMACs is the count a dense accelerator would perform.
 	EffectualMACs, DenseMACs float64
-	// Latency is the end-to-end inference time in seconds.
+	// Latency is the end-to-end inference time in seconds (simulated
+	// device time, not host wall-clock).
 	Latency float64
 	// EnergyPJ breaks the energy estimate down by component, in pJ.
 	EnergyPJ EnergyBreakdown
+	// Layers is the per-unit breakdown of this inference.
+	Layers []LayerStats
 }
 
 // EnergyBreakdown splits the energy estimate.
@@ -50,14 +93,86 @@ func (s Stats) String() string {
 }
 
 // LastStats returns the statistics of the most recent Run (zero value
-// before the first inference).
+// before the first inference). Stats reset at the start of every Run; use
+// Campaign for totals across runs.
 func (m *Machine) LastStats() Stats { return m.stats }
 
-// accumulateCompute records a conv unit's MAC work into the running stats.
-func (m *Machine) accumulateCompute(i int) {
+// CampaignStats accumulates device telemetry across every Run since machine
+// creation (or the last ResetCampaign): the per-layer breakdown a whole
+// probing campaign induces on the victim. All times are simulated device
+// seconds.
+type CampaignStats struct {
+	// Runs is how many inferences the campaign executed.
+	Runs int `json:"runs"`
+	// Aggregate DRAM traffic and MAC work across all runs.
+	DRAMReadBytes  int     `json:"dram_read_bytes"`
+	DRAMWriteBytes int     `json:"dram_write_bytes"`
+	EffectualMACs  float64 `json:"effectual_macs"`
+	DenseMACs      float64 `json:"dense_macs"`
+	// SimulatedTime is the summed per-inference device latency.
+	SimulatedTime float64 `json:"simulated_seconds"`
+	// EnergyPJ sums the per-run energy estimates.
+	EnergyPJ EnergyBreakdown `json:"energy_pj"`
+	// Layers accumulates the per-unit breakdown across runs.
+	Layers []LayerStats `json:"layers"`
+}
+
+// Campaign returns a copy of the accumulated campaign telemetry.
+func (m *Machine) Campaign() CampaignStats {
+	out := m.campaign
+	out.Layers = append([]LayerStats(nil), m.campaign.Layers...)
+	return out
+}
+
+// ResetCampaign clears the accumulated campaign telemetry.
+func (m *Machine) ResetCampaign() { m.campaign = CampaignStats{} }
+
+// String renders the campaign as a per-layer table.
+func (c CampaignStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign: %d runs, %.3f simulated device seconds, %.1f uJ\n",
+		c.Runs, c.SimulatedTime, c.EnergyPJ.Total()/1e6)
+	fmt.Fprintf(&sb, "%4s %-10s %14s %14s %16s %16s %12s %14s\n",
+		"unit", "name", "dram rd (B)", "dram wr (B)", "effectual MACs", "dense MACs", "out nnz", "encode Δt (s)")
+	for _, l := range c.Layers {
+		fmt.Fprintf(&sb, "%4d %-10s %14d %14d %16.0f %16.0f %12d %14.6f\n",
+			l.Unit, l.Name, l.DRAMReadBytes, l.DRAMWriteBytes, l.EffectualMACs, l.DenseMACs, l.OutNNZ, l.EncodeTime)
+	}
+	return sb.String()
+}
+
+// accumulateCampaign folds the just-finalized per-run stats into the
+// campaign accumulator.
+func (m *Machine) accumulateCampaign() {
+	c := &m.campaign
+	c.Runs++
+	c.DRAMReadBytes += m.stats.DRAMReadBytes
+	c.DRAMWriteBytes += m.stats.DRAMWriteBytes
+	c.EffectualMACs += m.stats.EffectualMACs
+	c.DenseMACs += m.stats.DenseMACs
+	c.SimulatedTime += m.stats.Latency
+	c.EnergyPJ.DRAM += m.stats.EnergyPJ.DRAM
+	c.EnergyPJ.GLB += m.stats.EnergyPJ.GLB
+	c.EnergyPJ.MAC += m.stats.EnergyPJ.MAC
+	if len(c.Layers) == 0 {
+		c.Layers = append([]LayerStats(nil), m.stats.Layers...)
+		return
+	}
+	for i, l := range m.stats.Layers {
+		if i < len(c.Layers) {
+			c.Layers[i].add(l)
+		} else {
+			c.Layers = append(c.Layers, l)
+		}
+	}
+}
+
+// computeLayer returns a conv unit's dense and effectual MAC counts (0, 0
+// for units without MACs).
+func (m *Machine) computeLayer(i int) (dense, effectual float64) {
 	c := m.Bind.Conv[i]
 	if c == nil {
-		return
+		return 0, 0
 	}
 	ps := m.Bind.PsumOut(i)
 	in := m.Bind.InputTensorOf(m.Arch, i, 0)
@@ -65,22 +180,55 @@ func (m *Machine) accumulateCompute(i int) {
 	if groups < 1 {
 		groups = 1
 	}
-	dense := float64(ps.Size()) * float64(c.InC/groups) * float64(c.Kernel*c.Kernel)
+	dense = float64(ps.Size()) * float64(c.InC/groups) * float64(c.Kernel*c.Kernel)
 	wDensity := 1 - c.Weight.W.Sparsity(0)
 	aDensity := 1 - in.Sparsity(0)
-	m.stats.DenseMACs += dense
-	m.stats.EffectualMACs += dense * wDensity * aDensity
+	return dense, dense * wDensity * aDensity
 }
 
 // finalizeStats computes derived quantities once a run completes.
 func (m *Machine) finalizeStats(latency float64) {
 	m.stats.Latency = latency
-	// GLB traffic approximation: every psum word is written once and read
-	// once by the encoder; activations and weights stream through once.
-	glbBytes := float64(m.stats.DRAMReadBytes+m.stats.DRAMWriteBytes) * 2
+	// GLB traffic: the encoder consumes *dense* psums — every psum word is
+	// written to the GLB once by the PE array and read once by the encoder
+	// (§7: the encoding pipeline is GLB-bound on dense psums, not on the
+	// compressed output) — while activations and weights stream through the
+	// GLB once at their compressed on-bus size.
+	psumBytes := 0.0
+	for _, l := range m.stats.Layers {
+		psumBytes += float64(l.Psums) * float64(m.Cfg.PsumBits) / 8
+	}
+	glbBytes := 2*psumBytes + float64(m.stats.DRAMReadBytes+m.stats.DRAMWriteBytes)
 	m.stats.EnergyPJ = EnergyBreakdown{
 		DRAM: float64(m.stats.DRAMReadBytes+m.stats.DRAMWriteBytes) * EnergyPerDRAMByte,
 		GLB:  glbBytes * EnergyPerGLBByte,
 		MAC:  m.stats.EffectualMACs * EnergyPerMAC,
+	}
+	m.accumulateCampaign()
+	m.emitTelemetry()
+}
+
+// emitTelemetry publishes the finished run's per-layer counters to the
+// configured Recorder under `accel.`-prefixed names. These series carry
+// *simulated* device quantities; host wall-clock lives in the attack-side
+// spans and `stage.seconds` metrics.
+func (m *Machine) emitTelemetry() {
+	rec := m.Cfg.Obs
+	if rec == nil {
+		return
+	}
+	rec.Count("accel.runs", "", 1)
+	rec.Count("accel.simulated_seconds", "", m.stats.Latency)
+	rec.Count("accel.energy_pj", "component=dram", m.stats.EnergyPJ.DRAM)
+	rec.Count("accel.energy_pj", "component=glb", m.stats.EnergyPJ.GLB)
+	rec.Count("accel.energy_pj", "component=mac", m.stats.EnergyPJ.MAC)
+	for _, l := range m.stats.Layers {
+		label := "layer=" + l.Name
+		rec.Count("accel.layer.dram_read_bytes", label, float64(l.DRAMReadBytes))
+		rec.Count("accel.layer.dram_write_bytes", label, float64(l.DRAMWriteBytes))
+		rec.Count("accel.layer.effectual_macs", label, l.EffectualMACs)
+		rec.Count("accel.layer.dense_macs", label, l.DenseMACs)
+		rec.Count("accel.layer.out_nnz", label, float64(l.OutNNZ))
+		rec.Count("accel.layer.encode_seconds", label, l.EncodeTime)
 	}
 }

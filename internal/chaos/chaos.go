@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"github.com/huffduff/huffduff/internal/faults"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
 )
@@ -59,6 +60,10 @@ type Config struct {
 	// randomized-padding defence as seen on the bus).
 	PadProb     float64
 	PadMaxBytes int
+	// Obs, when set, receives `chaos.runs` and per-class `chaos.faults`
+	// counters as faults are injected, so a campaign's metrics expose the
+	// ground-truth fault load alongside the attack's retry counters.
+	Obs obs.Recorder
 }
 
 // DefaultConfig enables every fault class at its default intensity: heavy
@@ -109,14 +114,26 @@ func (f *FaultyVictim) Stats() Stats {
 	return f.stats
 }
 
+// inject bumps one fault class's counter and mirrors it to the configured
+// Recorder. Callers hold f.mu.
+func (f *FaultyVictim) inject(counter *int, class string) {
+	*counter++
+	if f.cfg.Obs != nil {
+		f.cfg.Obs.Count("chaos.faults", "class="+class, 1)
+	}
+}
+
 // Run executes one inference on the inner victim and corrupts the observed
 // trace per the configured fault model.
 func (f *FaultyVictim) Run(img *tensor.Tensor) (*trace.Trace, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stats.Runs++
+	if f.cfg.Obs != nil {
+		f.cfg.Obs.Count("chaos.runs", "", 1)
+	}
 	if f.cfg.TransientProb > 0 && f.rng.Float64() < f.cfg.TransientProb {
-		f.stats.Transients++
+		f.inject(&f.stats.Transients, "transient")
 		return nil, fmt.Errorf("chaos: injected device failure: %w", faults.ErrTransient)
 	}
 	tr, err := f.inner.Run(img)
@@ -145,7 +162,7 @@ func (f *FaultyVictim) pad(acc []trace.Access) []trace.Access {
 		}
 		if f.rng.Float64() < f.cfg.PadProb {
 			extra[acc[i].Addr] += 1 + f.rng.Intn(f.cfg.PadMaxBytes)
-			f.stats.Padded++
+			f.inject(&f.stats.Padded, "padded")
 		}
 	}
 	if len(extra) == 0 {
@@ -176,7 +193,7 @@ func (f *FaultyVictim) jitter(acc []trace.Access) []trace.Access {
 			acc[i].Time = acc[i-1].Time
 		}
 	}
-	f.stats.Jittered++
+	f.inject(&f.stats.Jittered, "jittered")
 	return acc
 }
 
@@ -193,16 +210,16 @@ func (f *FaultyVictim) mangle(acc []trace.Access) []trace.Access {
 			acc[i].Op, acc[i+1].Op = acc[i+1].Op, acc[i].Op
 			acc[i].Addr, acc[i+1].Addr = acc[i+1].Addr, acc[i].Addr
 			acc[i].Bytes, acc[i+1].Bytes = acc[i+1].Bytes, acc[i].Bytes
-			f.stats.Swapped++
+			f.inject(&f.stats.Swapped, "swapped")
 		}
 		if f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb {
-			f.stats.Dropped++
+			f.inject(&f.stats.Dropped, "dropped")
 			continue
 		}
 		out = append(out, acc[i])
 		if f.cfg.DupProb > 0 && f.rng.Float64() < f.cfg.DupProb {
 			out = append(out, acc[i])
-			f.stats.Duplicated++
+			f.inject(&f.stats.Duplicated, "duplicated")
 		}
 	}
 	return out
@@ -223,6 +240,6 @@ func (f *FaultyVictim) truncate(acc []trace.Access) []trace.Access {
 	if cut >= len(acc) {
 		cut = len(acc) - 1
 	}
-	f.stats.Truncated++
+	f.inject(&f.stats.Truncated, "truncated")
 	return acc[:len(acc)-cut]
 }

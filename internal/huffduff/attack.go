@@ -1,11 +1,14 @@
 package huffduff
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/huffduff/huffduff/internal/faults"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/symconv"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
@@ -42,6 +45,12 @@ type Config struct {
 	// mode when the pattern solve finds no consistent geometry, before
 	// giving up.
 	EscalateNoiseTolerant bool
+	// Obs, when set, receives the campaign's spans and metrics: hierarchical
+	// wall-clock spans for every pipeline stage down to individual probe
+	// positions, victim-query and retry counters, per-stage wall time, and
+	// convergence diagnostics. Nil (the default) disables instrumentation at
+	// the cost of one nil-check per site.
+	Obs obs.Recorder
 }
 
 // DefaultConfig matches the paper's evaluation setup: a clean simulated
@@ -142,9 +151,38 @@ type Result struct {
 // attack degrades instead of failing: the returned Result has Degraded set
 // and a sparse-bound-only solution space that still contains the truth.
 func Attack(victim Victim, cfg Config) (*Result, error) {
+	return AttackContext(context.Background(), victim, cfg)
+}
+
+// stageSpan opens a pipeline-stage span and returns (stage ctx, closer); the
+// closer ends the span and records the stage's host wall time into the
+// `stage.seconds{stage=...}` histogram.
+func stageSpan(ctx context.Context, name string) (context.Context, func()) {
+	rec := obs.RecorderFrom(ctx)
+	if rec == nil {
+		return ctx, func() {}
+	}
+	sctx, sp := obs.Start(ctx, name)
+	start := time.Now()
+	return sctx, func() {
+		sp.End()
+		rec.Observe("stage.seconds", "stage="+name, time.Since(start).Seconds())
+	}
+}
+
+// AttackContext is Attack with a caller-supplied context. Config.Obs (when
+// set) is attached to the context, so spans and metrics flow to it; a
+// recorder already present in ctx is used otherwise.
+func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, faults.Stage("config", err)
 	}
+	if cfg.Obs != nil {
+		ctx = obs.WithRecorder(ctx, cfg.Obs)
+	}
+	ctx, root := obs.Start(ctx, "attack")
+	defer root.End()
+
 	fin := cfg.Finalize
 	// The solver's consistency filters and the finalizer must agree on the
 	// device model.
@@ -154,14 +192,18 @@ func Attack(victim Victim, cfg Config) (*Result, error) {
 	res := &Result{}
 
 	// 1. Calibration.
-	g, err := calibrate(victim, cfg, res)
+	cctx, endCal := stageSpan(ctx, "calibrate")
+	g, err := calibrate(cctx, victim, cfg, res)
+	endCal()
 	if err != nil {
 		return nil, faults.Stage("calibration", err)
 	}
 	res.Graph = g
 
 	// 2. Probing campaign.
-	data, err := Collect(victim, g, fin.InC, fin.InH, fin.InW, cfg.Probe)
+	pctx, endProbe := stageSpan(ctx, "probe")
+	data, err := CollectContext(pctx, victim, g, fin.InC, fin.InH, fin.InW, cfg.Probe)
+	endProbe()
 	if err != nil {
 		return nil, faults.Stage("probe", err)
 	}
@@ -170,16 +212,23 @@ func Attack(victim Victim, cfg Config) (*Result, error) {
 	// 3. Geometry solve, with the §8.2 convergence loop and — if the solve
 	// finds no consistent geometry — one escalation into the §9.2
 	// repeated-measurement mode.
-	pr, conv, serr := solveConverged(data, cfg)
+	sctx, endSolve := stageSpan(ctx, "solve")
+	pr, conv, serr := solveConverged(sctx, data, cfg)
+	endSolve()
 	if serr != nil && cfg.EscalateNoiseTolerant && !cfg.Probe.NoiseTolerant {
 		ncfg := cfg.Probe
 		ncfg.NoiseTolerant = true
-		nd, nerr := Collect(victim, g, fin.InC, fin.InH, fin.InW, ncfg)
+		pctx, endProbe := stageSpan(ctx, "probe")
+		nd, nerr := CollectContext(pctx, victim, g, fin.InC, fin.InH, fin.InW, ncfg)
+		endProbe()
 		if nerr != nil {
 			return nil, faults.Stage("probe", fmt.Errorf("noise-tolerant escalation after solve failure (%v): %w", serr, nerr))
 		}
 		res.VictimRetries += nd.Retries
-		if pr2, conv2, serr2 := solveConverged(nd, cfg); serr2 == nil {
+		sctx, endSolve := stageSpan(ctx, "solve")
+		pr2, conv2, serr2 := solveConverged(sctx, nd, cfg)
+		endSolve()
+		if serr2 == nil {
 			data, pr, conv, serr = nd, pr2, conv2, nil
 		} else {
 			serr = fmt.Errorf("pattern solve failed in plain (%v) and noise-tolerant (%w) modes", serr, serr2)
@@ -192,7 +241,9 @@ func Attack(victim Victim, cfg Config) (*Result, error) {
 	res.Converged, res.TrialsConverged, res.Confidence = conv.converged, conv.trialsConverged, conv.confidence
 
 	// 4. Spatial propagation.
+	_, endGeom := stageSpan(ctx, "geometry")
 	dims, err := PropagateDims(g, pr, fin.InH)
+	endGeom()
 	if err != nil {
 		return nil, faults.Stage("geometry", err)
 	}
@@ -201,18 +252,24 @@ func Attack(victim Victim, cfg Config) (*Result, error) {
 	// 5. Timing channel — from the per-inference Δt samples the campaign
 	// gathered, falling back to the calibration interval if none exist.
 	var terr error
+	_, endTiming := stageSpan(ctx, "timing")
 	if len(data.Enc) > 0 {
 		res.Timing, terr = TimingChannelFromSamples(g, dims, data.Enc, cfg.TimingTolerance)
 	} else {
 		res.Timing, terr = TimingChannel(g, dims, cfg.BlockBytes)
 	}
+	res.Timing.Record(obs.RecorderFrom(ctx))
+	endTiming()
 
 	// 6. Solution space, with graceful degradation when the timing channel
 	// cannot be trusted.
+	fctx, endFinalize := stageSpan(ctx, "finalize")
+	defer endFinalize()
 	if terr == nil {
 		space, ferr := Finalize(g, pr, dims, res.Timing, fin)
 		if ferr == nil {
 			res.Space = space
+			res.recordSpace(fctx)
 			return res, nil
 		}
 		if !cfg.DegradeOnTimingFault {
@@ -229,7 +286,24 @@ func Attack(victim Victim, cfg Config) (*Result, error) {
 	res.Space = space
 	res.Degraded = true
 	res.DegradedReason = terr.Error()
+	res.recordSpace(fctx)
 	return res, nil
+}
+
+// recordSpace publishes the finalized solution space's headline numbers.
+func (res *Result) recordSpace(ctx context.Context) {
+	if res.Space == nil {
+		return
+	}
+	obs.Gauge(ctx, "solution.space.count", "", float64(res.Space.Count()))
+	obs.Gauge(ctx, "solution.space.k1min", "", float64(res.Space.K1Min))
+	obs.Gauge(ctx, "solution.space.k1max", "", float64(res.Space.K1Max))
+	obs.Gauge(ctx, "solution.space.geom_ambiguity", "", float64(res.Space.GeomAmbiguity))
+	degraded := 0.0
+	if res.Degraded {
+		degraded = 1
+	}
+	obs.Gauge(ctx, "attack.degraded", "", degraded)
 }
 
 // calibrationReplicas is how many independent calibration inferences are
@@ -239,15 +313,17 @@ func Attack(victim Victim, cfg Config) (*Result, error) {
 // surviving noise source (padding-style inflation) is strictly additive.
 const calibrationReplicas = 2
 
-func calibrate(victim Victim, cfg Config, res *Result) (*ObsGraph, error) {
+func calibrate(ctx context.Context, victim Victim, cfg Config, res *Result) (*ObsGraph, error) {
 	fin := cfg.Probe.Consistency
 	rng := newRNG(cfg.Probe.Seed + 7919)
 	img := tensor.New(fin.InC, fin.InH, fin.InW)
 	img.Uniform(rng, 0.05, 0.95)
 	run := func() ([]trace.SegmentObs, error) {
-		obs, retries, err := runObserved(victim, img, cfg.Probe, nil)
+		rctx, sp := obs.Start(ctx, "calibrate.replica")
+		segs, retries, err := runObserved(rctx, victim, img, cfg.Probe, nil)
+		sp.End()
 		res.VictimRetries += retries
-		return obs, err
+		return segs, err
 	}
 	var lastErr error
 	for attempt := 0; attempt <= cfg.Probe.MaxRetries; attempt++ {
@@ -334,7 +410,7 @@ type convergence struct {
 // sequence of trial counts ending at the full collected count; otherwise
 // the single full-trial solve. The full-trial result is always the answer;
 // the earlier solves feed the convergence report and per-layer confidence.
-func solveConverged(data *ProbeData, cfg Config) (*ProbeResult, convergence, error) {
+func solveConverged(ctx context.Context, data *ProbeData, cfg Config) (*ProbeResult, convergence, error) {
 	total := data.Cfg.Trials
 	var schedule []int
 	if cfg.Converge {
@@ -354,12 +430,17 @@ func solveConverged(data *ProbeData, cfg Config) (*ProbeResult, convergence, err
 	results := make([]*ProbeResult, len(schedule))
 	var lastErr error
 	for i, t := range schedule {
+		ictx, sp := obs.Startf(ctx, "solve.trials=%d", t)
+		obs.Count(ictx, "solve.iterations", "", 1)
 		pr, err := data.Solve(t)
 		if err != nil {
 			lastErr = err
+			sp.End()
 			continue
 		}
+		obs.Gauge(ictx, "solve.ambiguity", fmt.Sprintf("trials=%d", t), float64(solveAmbiguity(pr)))
 		results[i] = pr
+		sp.End()
 	}
 	final := results[len(results)-1]
 	if final == nil {
@@ -406,6 +487,19 @@ func solveConverged(data *ProbeData, cfg Config) (*ProbeResult, convergence, err
 		out.confidence[id] = stability(func(r *ProbeResult) bool { return r.PoolFactors[id] == f })
 	}
 	return final, out, nil
+}
+
+// solveAmbiguity is the capped product of every node's pattern-tie count —
+// how many architectures one solve left indistinguishable.
+func solveAmbiguity(pr *ProbeResult) int {
+	const ambCap = 1 << 30
+	amb := 1
+	for _, cands := range pr.Candidates {
+		if n := len(cands); n > 1 && amb < ambCap {
+			amb *= n
+		}
+	}
+	return amb
 }
 
 // SameGeometry reports whether two probe results agree on every conv

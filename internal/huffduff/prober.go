@@ -1,12 +1,15 @@
 package huffduff
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
 	"github.com/huffduff/huffduff/internal/faults"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/probe"
 	"github.com/huffduff/huffduff/internal/symconv"
 	"github.com/huffduff/huffduff/internal/tensor"
@@ -195,33 +198,35 @@ type ProbeData struct {
 // it (trace.Validate plus the optional caller check), retrying transient
 // failures and corrupt traces up to cfg.MaxRetries times with exponential
 // backoff from cfg.RetryBackoff. It returns the accepted observation and
-// how many retries were spent.
-func runObserved(victim Victim, img *tensor.Tensor, cfg ProbeConfig, check func([]trace.SegmentObs) error) ([]trace.SegmentObs, int, error) {
+// how many retries were spent. Every attempt increments victim.inferences;
+// retries are counted per sentinel class under victim.retries{class=...}.
+func runObserved(ctx context.Context, victim Victim, img *tensor.Tensor, cfg ProbeConfig, check func([]trace.SegmentObs) error) ([]trace.SegmentObs, int, error) {
 	runOnce := func() ([]trace.SegmentObs, error) {
+		obs.Count(ctx, "victim.inferences", "", 1)
 		tr, err := victim.Run(img)
 		if err != nil {
 			return nil, fmt.Errorf("huffduff: victim inference: %w", err)
 		}
-		obs, err := trace.Analyze(tr)
+		segs, err := trace.Analyze(tr)
 		if err != nil {
 			return nil, err
 		}
-		if err := trace.Validate(obs); err != nil {
+		if err := trace.Validate(segs); err != nil {
 			return nil, err
 		}
 		if check != nil {
-			if err := check(obs); err != nil {
+			if err := check(segs); err != nil {
 				return nil, err
 			}
 		}
-		return obs, nil
+		return segs, nil
 	}
 	retries := 0
 	backoff := cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		obs, err := runOnce()
+		segs, err := runOnce()
 		if err == nil {
-			return obs, retries, nil
+			return segs, retries, nil
 		}
 		if !faults.Retryable(err) || attempt >= cfg.MaxRetries {
 			if attempt > 0 {
@@ -230,10 +235,24 @@ func runObserved(victim Victim, img *tensor.Tensor, cfg ProbeConfig, check func(
 			return nil, retries, err
 		}
 		retries++
+		obs.Count(ctx, "victim.retries", "class="+retryClass(err), 1)
 		if backoff > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+	}
+}
+
+// retryClass maps a retryable error to its faults sentinel class, labelling
+// the victim.retries counter series.
+func retryClass(err error) string {
+	switch {
+	case errors.Is(err, faults.ErrTransient):
+		return "transient"
+	case errors.Is(err, faults.ErrTraceCorrupt):
+		return "trace_corrupt"
+	default:
+		return "other"
 	}
 }
 
@@ -243,6 +262,13 @@ func runObserved(victim Victim, img *tensor.Tensor, cfg ProbeConfig, check func(
 // weight footprints are input-invariant — and against trace.Validate's byte
 // accounting; failing inferences are retried within cfg.MaxRetries.
 func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*ProbeData, error) {
+	return CollectContext(context.Background(), victim, g, inC, inH, inW, cfg)
+}
+
+// CollectContext is Collect with a caller-supplied context; an obs.Recorder
+// attached to ctx receives per-trial and per-position spans plus the
+// victim-query and retry counters.
+func CollectContext(ctx context.Context, victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*ProbeData, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -314,11 +340,11 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 		}
 		return nil
 	}
-	runOne := func(fam probe.Pattern, vals probe.Values, q int) ([]trace.SegmentObs, error) {
+	runOne := func(ctx context.Context, fam probe.Pattern, vals probe.Values, q int) ([]trace.SegmentObs, error) {
 		img := probe.Image(fam, vals, q, inC, inH, inW)
-		obs, retries, err := runObserved(victim, img, cfg, check)
+		segs, retries, err := runObserved(ctx, victim, img, cfg, check)
 		pd.Retries += retries
-		return obs, err
+		return segs, err
 	}
 	sums := make([]float64, len(g.Nodes))
 	sqs := make([]float64, len(g.Nodes))
@@ -335,21 +361,26 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 		maxRep += 3
 	}
 	for t := 0; t < cfg.Trials; t++ {
+		tctx, tspan := obs.Start(ctx, "probe.trial")
 		for fi, fam := range families {
 			vals := probe.RandomValues(rng, fam)
 			for q := 0; q < cfg.Q; q++ {
+				qctx, qspan := obs.Start(tctx, "probe.pos")
+				obs.Count(qctx, "probe.positions", "", 1)
 				for n := range sums {
 					sums[n], sqs[n] = 0, 0
 				}
 				reps := 0
 				for r := 0; r < maxRep; r++ {
-					obs, err := runOne(fam, vals, q)
+					segs, err := runOne(qctx, fam, vals, q)
 					if err != nil {
+						qspan.End()
+						tspan.End()
 						return nil, err
 					}
 					agreed := r > 0
-					for n := 1; n < len(obs); n++ {
-						bytes := obs[n].OutputBytes
+					for n := 1; n < len(segs); n++ {
+						bytes := segs[n].OutputBytes
 						b := float64(bytes)
 						sums[n] += b
 						sqs[n] += b * b
@@ -360,7 +391,7 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 							agreed = false
 						}
 						cur[n] = bytes
-						if dt := obs[n].EncodingTime(); dt > 0 && bytes > cfg.BlockBytes {
+						if dt := segs[n].EncodingTime(); dt > 0 && bytes > cfg.BlockBytes {
 							if cfg.BlockBytes > 0 {
 								dt = dt * b / (b - float64(cfg.BlockBytes))
 							}
@@ -391,8 +422,10 @@ func Collect(victim Victim, g *ObsGraph, inC, inH, inW int, cfg ProbeConfig) (*P
 				if reps > 1 {
 					varCnt++
 				}
+				qspan.End()
 			}
 		}
+		tspan.End()
 	}
 	if varCnt > 0 {
 		for n := range pd.Sigma {

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/huffduff/huffduff/internal/faults"
+	"github.com/huffduff/huffduff/internal/obs"
 )
 
 // newRNG centralizes seeding so the attack is reproducible end to end.
@@ -76,6 +77,24 @@ type TimingResult struct {
 	// SampleCount is how many accepted Δt samples backed each node's
 	// estimate. Empty for single-observation results.
 	SampleCount map[int]int
+}
+
+// Record publishes the timing channel's per-node diagnostics — recovered
+// K ratios, robust dispersions, and sample counts — as gauges labelled by
+// node ID. Safe on a nil result (a failed TimingChannel) and a nil recorder.
+func (t *TimingResult) Record(rec obs.Recorder) {
+	if t == nil || rec == nil {
+		return
+	}
+	for id, r := range t.KRatio {
+		rec.Gauge("timing.kratio", fmt.Sprintf("node=%d", id), r)
+	}
+	for id, d := range t.Dispersion {
+		rec.Gauge("timing.dispersion", fmt.Sprintf("node=%d", id), d)
+	}
+	for id, n := range t.SampleCount {
+		rec.Gauge("timing.samples", fmt.Sprintf("node=%d", id), float64(n))
+	}
 }
 
 // TimingChannel converts observed encoding intervals into output-channel

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector is the standard in-memory Recorder: it keeps every span and
+// metric of a campaign and can export them as a Chrome-trace/Perfetto JSON,
+// a metrics JSON, or a human-readable span tree. Safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	base  time.Time
+	spans map[uint64]*spanRec
+	order []uint64 // span IDs in start order
+
+	counters map[metricKey]float64
+	gauges   map[metricKey]float64
+	hists    map[metricKey]*histogram
+}
+
+// metricKey identifies one metric series.
+type metricKey struct{ name, label string }
+
+// String renders the conventional name{label} form.
+func (k metricKey) String() string {
+	if k.label == "" {
+		return k.name
+	}
+	return k.name + "{" + k.label + "}"
+}
+
+// spanRec is one recorded span.
+type spanRec struct {
+	id, parent uint64
+	name       string
+	start, end time.Time
+	ended      bool
+	children   []uint64
+}
+
+// NewCollector returns an empty Collector; its trace timestamps are relative
+// to the moment of creation.
+func NewCollector() *Collector {
+	return &Collector{
+		base:     time.Now(),
+		spans:    map[uint64]*spanRec{},
+		counters: map[metricKey]float64{},
+		gauges:   map[metricKey]float64{},
+		hists:    map[metricKey]*histogram{},
+	}
+}
+
+// SpanStart implements Recorder.
+func (c *Collector) SpanStart(name string, id, parent uint64, start time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans[id] = &spanRec{id: id, parent: parent, name: name, start: start}
+	c.order = append(c.order, id)
+	if p, ok := c.spans[parent]; ok {
+		p.children = append(p.children, id)
+	}
+}
+
+// SpanEnd implements Recorder. Ends for unknown spans are ignored (the span
+// may predate the collector).
+func (c *Collector) SpanEnd(id uint64, end time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.spans[id]; ok && !s.ended {
+		s.end, s.ended = end, true
+	}
+}
+
+// Count implements Recorder.
+func (c *Collector) Count(name, label string, delta float64) {
+	c.mu.Lock()
+	c.counters[metricKey{name, label}] += delta
+	c.mu.Unlock()
+}
+
+// Gauge implements Recorder.
+func (c *Collector) Gauge(name, label string, v float64) {
+	c.mu.Lock()
+	c.gauges[metricKey{name, label}] = v
+	c.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (c *Collector) Observe(name, label string, v float64) {
+	c.mu.Lock()
+	k := metricKey{name, label}
+	h, ok := c.hists[k]
+	if !ok {
+		h = &histogram{buckets: map[int]uint64{}}
+		c.hists[k] = h
+	}
+	h.observe(v)
+	c.mu.Unlock()
+}
+
+// CounterValue returns the current value of counter name{label} (0 when the
+// series was never written).
+func (c *Collector) CounterValue(name, label string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[metricKey{name, label}]
+}
+
+// GaugeValue returns the current value of gauge name{label}.
+func (c *Collector) GaugeValue(name, label string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gauges[metricKey{name, label}]
+}
+
+// histogram is a fixed log-scale histogram: values fall into power-of-two
+// buckets, index i covering (2^(i-1), 2^i]. The range is clamped to
+// [minBucket, maxBucket], wide enough for nanoseconds through gigabytes.
+type histogram struct {
+	count    uint64
+	sum      float64
+	min, max float64
+	buckets  map[int]uint64
+}
+
+const (
+	minBucket = -40 // 2^-40 ≈ 9.1e-13
+	maxBucket = 40  // 2^40 ≈ 1.1e12
+)
+
+// bucketOf returns the log-scale bucket index for v.
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return minBucket
+	}
+	i := int(math.Ceil(math.Log2(v)))
+	if i < minBucket {
+		i = minBucket
+	}
+	if i > maxBucket {
+		i = maxBucket
+	}
+	return i
+}
+
+func (h *histogram) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// sortedKeys returns every metric key of the map in deterministic order.
+func sortedKeys[V any](m map[metricKey]V) []metricKey {
+	keys := make([]metricKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].label < keys[j].label
+	})
+	return keys
+}
