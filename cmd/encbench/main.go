@@ -18,6 +18,7 @@ import (
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/dram"
 	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prune"
 	"github.com/huffduff/huffduff/internal/tensor"
 )
@@ -25,10 +26,11 @@ import (
 func main() {
 	cli.Setup()
 	var (
-		model = flag.String("model", "vggs", "architecture ("+cli.ModelNames+")")
-		scale = flag.Int("scale", 8, "channel-width divisor")
-		keep  = flag.Float64("keep", 0.1, "fraction of weights kept (paper: 10x pruning)")
-		seed  = flag.Int64("seed", 1, "seed")
+		model      = flag.String("model", "vggs", "architecture ("+cli.ModelNames+")")
+		scale      = flag.Int("scale", 8, "channel-width divisor")
+		keep       = flag.Float64("keep", 0.1, "fraction of weights kept (paper: 10x pruning)")
+		seed       = flag.Int64("seed", 1, "seed")
+		metricsOut = cli.MetricsOutFlag()
 	)
 	flag.Parse()
 
@@ -38,7 +40,15 @@ func main() {
 	cli.Check(err)
 
 	// One representative inference to populate psum and output tensors.
+	// With -metrics-out the machine publishes its per-layer device
+	// telemetry (`accel.`-prefixed series) into the dumped snapshot.
 	cfg := accel.DefaultConfig()
+	var col *obs.Collector
+	if *metricsOut != "" {
+		col = obs.NewCollector()
+		cfg.Obs = col
+	}
+	defer cli.WriteMetrics(col, *metricsOut)
 	m := accel.NewMachine(cfg, arch, bind)
 	img := tensor.New(arch.InC, arch.InH, arch.InW)
 	img.Uniform(rng, 0, 1)

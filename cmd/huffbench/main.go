@@ -1,0 +1,190 @@
+// Command huffbench is the continuous benchmark harness for the attack
+// pipeline: it runs a fixed set of end-to-end and micro scenarios, appends
+// a timestamped record to BENCH_pipeline.json, and exits nonzero when a
+// tracked metric regresses beyond its threshold against the previous
+// record. CI runs it on every push and uploads the JSON as an artifact, so
+// the file is the pipeline's performance trajectory.
+//
+// Usage:
+//
+//	huffbench -out BENCH_pipeline.json
+//	huffbench -no-gate            # record a fresh baseline, never fail
+//	huffbench -slow attack_smallcnn=2   # gate self-test: injected slowdown
+//
+// Scenario notes: the heavier end-to-end scenario is a width-scaled
+// ResNet-18 rather than VGG-S — a VGG-S geometry solve explodes the
+// symbolic engine's expression count (GBs of interned sums) and does not
+// finish in CI time; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/huffduff/huffduff/cmd/internal/cli"
+	"github.com/huffduff/huffduff/internal/accel"
+	attack "github.com/huffduff/huffduff/internal/huffduff"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/prune"
+	"github.com/huffduff/huffduff/internal/sparse"
+)
+
+// scenario is one fixed benchmark workload.
+type scenario struct {
+	name string
+	run  func() (Metrics, error)
+}
+
+// attackScenario deploys a pruned victim and measures one full attack:
+// host wall time, victim-query count, simulated device time and cycles,
+// and the size of the recovered solution space.
+func attackScenario(model string, scale int, keep float64, trials, q int, seed int64) func() (Metrics, error) {
+	return func() (Metrics, error) {
+		arch, err := models.ByName(model, scale)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		bind, err := arch.Build(rng)
+		if err != nil {
+			return nil, err
+		}
+		if keep < 1 {
+			prune.GlobalMagnitude(bind.Net.Params(), keep)
+		}
+		acfg := accel.DefaultConfig()
+		acfg.Seed = seed
+		m := accel.NewMachine(acfg, arch, bind)
+
+		cfg := attack.DefaultConfig()
+		cfg.Probe.Trials = trials
+		cfg.Probe.Q = q
+		cfg.Probe.Seed = seed
+		start := time.Now()
+		res, err := attack.Attack(m, cfg)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return nil, err
+		}
+		dev := m.Campaign()
+		return Metrics{
+			"wall_seconds":   wall,
+			"victim_queries": float64(dev.Runs),
+			"device_seconds": dev.SimulatedTime,
+			"device_cycles":  dev.SimulatedTime * acfg.ClockHz,
+			"solution_count": float64(res.Space.Count()),
+		}, nil
+	}
+}
+
+// encodeMicro measures raw encoder throughput: the sparse codecs the
+// simulated accelerator uses on its DRAM bus, fed a fixed pseudo-random
+// activation tensor at attack-typical density.
+func encodeMicro() (Metrics, error) {
+	const (
+		n       = 1 << 16
+		density = 0.3
+		iters   = 300
+	)
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, n)
+	for i := range values {
+		if rng.Float64() < density {
+			values[i] = rng.NormFloat64()
+		}
+	}
+	codecs := []sparse.Codec{
+		sparse.Bitmap{ElemBytes: 1},
+		sparse.RLE{ElemBytes: 1, RunBits: 4},
+		sparse.CSC{ElemBytes: 1, IndexBits: 4},
+	}
+	var outBytes int64
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, c := range codecs {
+			outBytes += int64(c.Encode(values).Bytes)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	encoded := float64(iters * len(codecs) * n)
+	return Metrics{
+		"wall_seconds":      wall,
+		"values_per_second": encoded / wall,
+		"bytes_per_second":  float64(outBytes) / wall,
+	}, nil
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{"attack_smallcnn", attackScenario("smallcnn", 1, 0.5, 8, 8, 1)},
+		{"attack_resnet18", attackScenario("resnet18", 16, 0.6, 6, 16, 1234)},
+		{"encode_micro", encodeMicro},
+	}
+}
+
+// runBench executes the scenarios, applies injected slowdowns, appends the
+// record to path, and returns the regression report (empty = gate passed).
+func runBench(path string, scens []scenario, slow slowdowns, gate, deterministicOnly bool, logf func(string, ...any)) ([]string, error) {
+	history, err := loadRecords(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := Record{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Scenarios: map[string]Metrics{},
+	}
+	for _, s := range scens {
+		logf("running %s...", s.name)
+		start := time.Now()
+		m, err := s.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		if f, ok := slow[s.name]; ok {
+			// Self-test hook: pretend the scenario ran f times slower, so
+			// the regression gate itself can be exercised end to end.
+			m["wall_seconds"] *= f
+		}
+		rec.Scenarios[s.name] = m
+		logf("%s done in %.2fs: %v", s.name, time.Since(start).Seconds(), m)
+	}
+
+	var regressions []string
+	if gate && len(history) > 0 {
+		regressions = compare(history[len(history)-1], rec, deterministicOnly)
+	}
+	if err := saveRecords(path, append(history, rec)); err != nil {
+		return nil, err
+	}
+	return regressions, nil
+}
+
+func main() {
+	cli.Setup()
+	slow := slowdowns{}
+	var (
+		out     = flag.String("out", "BENCH_pipeline.json", "benchmark history file (JSON array, appended)")
+		noGate  = flag.Bool("no-gate", false, "record without comparing to the previous record")
+		detOnly = flag.Bool("deterministic-only", false,
+			"gate only machine-independent metrics (for comparing against a baseline recorded on different hardware)")
+	)
+	flag.Var(slow, "slow", "inject an artificial slowdown, scenario=factor (repeatable; gate self-test)")
+	flag.Parse()
+
+	regressions, err := runBench(*out, scenarios(), slow, !*noGate, *detOnly, log.Printf)
+	cli.Check(err)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			log.Printf("REGRESSION %s", r)
+		}
+		log.Printf("%d metric(s) regressed beyond threshold; record appended to %s", len(regressions), *out)
+		os.Exit(1)
+	}
+	log.Printf("gate passed; record appended to %s", *out)
+}

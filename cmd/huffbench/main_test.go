@@ -1,0 +1,181 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func discard(string, ...any) {}
+
+// fakeScenarios returns instant scenarios with deterministic metrics so the
+// append/gate logic can be tested without multi-second attack runs.
+func fakeScenarios() []scenario {
+	return []scenario{
+		{"attack_fake", func() (Metrics, error) {
+			return Metrics{
+				"wall_seconds":   1.0,
+				"victim_queries": 100,
+				"device_seconds": 0.5,
+				"device_cycles":  1e8,
+				"solution_count": 4,
+			}, nil
+		}},
+		{"encode_fake", func() (Metrics, error) {
+			return Metrics{"values_per_second": 1e6, "bytes_per_second": 1e5}, nil
+		}},
+	}
+}
+
+func TestAppendsAndGates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+
+	// First run: no history, gate vacuously passes, record written.
+	bad, err := runBench(path, fakeScenarios(), nil, true, false, discard)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("first run: regressions=%v err=%v", bad, err)
+	}
+	recs, err := loadRecords(path)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("after first run: %d records, err=%v", len(recs), err)
+	}
+	for _, m := range []string{"wall_seconds", "victim_queries", "device_cycles"} {
+		if _, ok := recs[0].Scenarios["attack_fake"][m]; !ok {
+			t.Errorf("record missing %s", m)
+		}
+	}
+	if recs[0].Timestamp == "" || recs[0].GoVersion == "" {
+		t.Errorf("record missing provenance: %+v", recs[0])
+	}
+
+	// Second run: appends rather than overwrites, identical metrics pass.
+	bad, err = runBench(path, fakeScenarios(), nil, true, false, discard)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("second run: regressions=%v err=%v", bad, err)
+	}
+	if recs, _ = loadRecords(path); len(recs) != 2 {
+		t.Fatalf("second run did not append: %d records", len(recs))
+	}
+
+	// Third run with an injected 2x slowdown: the wall-time gate trips.
+	bad, err = runBench(path, fakeScenarios(), slowdowns{"attack_fake": 2}, true, false, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "attack_fake: wall_seconds") {
+		t.Fatalf("2x slowdown not caught: %v", bad)
+	}
+	// The regressed record is still appended — the trajectory keeps the
+	// bad data point, the exit code carries the verdict.
+	if recs, _ = loadRecords(path); len(recs) != 3 {
+		t.Fatalf("regressed run not recorded: %d records", len(recs))
+	}
+
+	// Fourth run with -no-gate: same slowdown, no failure.
+	bad, err = runBench(path, fakeScenarios(), slowdowns{"attack_fake": 4}, false, false, discard)
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("no-gate run: regressions=%v err=%v", bad, err)
+	}
+}
+
+func TestCompareRules(t *testing.T) {
+	prev := Record{Scenarios: map[string]Metrics{
+		"s": {"wall_seconds": 1, "victim_queries": 100, "values_per_second": 1e6, "unguarded": 1},
+	}}
+	cases := []struct {
+		name string
+		next Metrics
+		want int
+	}{
+		{"identical", Metrics{"wall_seconds": 1, "victim_queries": 100, "values_per_second": 1e6}, 0},
+		{"within wall threshold", Metrics{"wall_seconds": 1.5}, 0},
+		{"wall regression", Metrics{"wall_seconds": 2.0}, 1},
+		{"query regression", Metrics{"victim_queries": 120}, 1},
+		{"throughput collapse", Metrics{"values_per_second": 4e5}, 1},
+		{"throughput improvement", Metrics{"values_per_second": 5e6}, 0},
+		{"unguarded metric ignored", Metrics{"unguarded": 100}, 0},
+		{"new metric ignored", Metrics{"brand_new": 5}, 0},
+	}
+	for _, c := range cases {
+		next := Record{Scenarios: map[string]Metrics{"s": c.next}}
+		if got := compare(prev, next, false); len(got) != c.want {
+			t.Errorf("%s: got %d regressions (%v), want %d", c.name, len(got), got, c.want)
+		}
+	}
+	// A scenario missing from the previous record is not gated.
+	if got := compare(Record{}, Record{Scenarios: map[string]Metrics{"s": {"wall_seconds": 99}}}, false); len(got) != 0 {
+		t.Errorf("new scenario gated against nothing: %v", got)
+	}
+}
+
+func TestSlowdownsFlag(t *testing.T) {
+	s := slowdowns{}
+	if err := s.Set("attack_smallcnn=2"); err != nil {
+		t.Fatal(err)
+	}
+	if s["attack_smallcnn"] != 2 {
+		t.Fatalf("parsed %v", s)
+	}
+	for _, bad := range []string{"nofactor", "x=", "x=-1", "x=zero"} {
+		if err := s.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRealScenariosProduceRequiredMetrics runs the true benchmark suite
+// once (tens of seconds) and checks every acceptance-relevant metric is
+// present and sane in the appended record.
+func TestRealScenariosProduceRequiredMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark scenarios")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	bad, err := runBench(path, scenarios(), nil, true, false, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("first run cannot regress: %v", bad)
+	}
+	recs, err := loadRecords(path)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("records=%d err=%v", len(recs), err)
+	}
+	for _, name := range []string{"attack_smallcnn", "attack_resnet18"} {
+		m := recs[0].Scenarios[name]
+		for _, k := range []string{"wall_seconds", "victim_queries", "device_seconds", "device_cycles", "solution_count"} {
+			if m[k] <= 0 {
+				t.Errorf("%s: %s = %v, want > 0", name, k, m[k])
+			}
+		}
+		if m["device_cycles"] < m["device_seconds"] {
+			t.Errorf("%s: cycles %v below seconds %v (clock rate lost?)", name, m["device_cycles"], m["device_seconds"])
+		}
+	}
+	if recs[0].Scenarios["encode_micro"]["values_per_second"] <= 0 {
+		t.Errorf("encoder throughput missing: %v", recs[0].Scenarios["encode_micro"])
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicOnlyGate(t *testing.T) {
+	prev := Record{Scenarios: map[string]Metrics{
+		"s": {"wall_seconds": 1, "victim_queries": 100, "values_per_second": 1e6},
+	}}
+	// A 3x wall slowdown and throughput collapse on different hardware are
+	// forgiven; a victim-query increase is code drift and still fails.
+	next := Record{Scenarios: map[string]Metrics{
+		"s": {"wall_seconds": 3, "victim_queries": 100, "values_per_second": 2e5},
+	}}
+	if got := compare(prev, next, true); len(got) != 0 {
+		t.Errorf("machine-dependent metrics gated in deterministic-only mode: %v", got)
+	}
+	next.Scenarios["s"]["victim_queries"] = 150
+	if got := compare(prev, next, true); len(got) != 1 {
+		t.Errorf("deterministic regression missed: %v", got)
+	}
+}

@@ -71,7 +71,7 @@ func main() {
 		pad       = flag.Float64("chaos-pad", -1, "per-write padding-inflation probability")
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace/Perfetto JSON span timeline to this file")
-		metricsOut = flag.String("metrics-out", "", "write the campaign's metrics JSON here (plus BENCH_attack.json alongside)")
+		metricsOut = cli.MetricsOutFlag() // plus BENCH_attack.json alongside
 		verbose    = flag.Bool("v", false, "print the span tree, metric counters, and per-layer device telemetry")
 	)
 	flag.Parse()
@@ -267,7 +267,7 @@ func flushObservability(col *obs.Collector, machine *accel.Machine, res *attack.
 	if metricsOut == "" {
 		return
 	}
-	writeFile(metricsOut, col.WriteMetrics)
+	cli.WriteMetrics(col, metricsOut)
 
 	snap := col.Metrics()
 	rep := benchReport{

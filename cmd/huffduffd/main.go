@@ -1,0 +1,102 @@
+// Command huffduffd is the live campaign daemon: it accepts attack jobs
+// over HTTP, runs them on a bounded worker pool against freshly deployed
+// simulated victims, and exposes the operator surface of a long-running
+// service — Prometheus metrics, live per-campaign progress with device
+// telemetry, a flight-recorder event dump, and pprof.
+//
+// Usage:
+//
+//	huffduffd -addr 127.0.0.1:9120 -workers 2
+//
+// Submit a campaign and watch it:
+//
+//	curl -d '{"model":"smallcnn","trials":8,"q":8}' localhost:9120/campaigns
+//	curl localhost:9120/campaigns/1
+//	curl localhost:9120/metrics
+//
+// SIGINT/SIGTERM drain the worker pool before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/huffduff/huffduff/cmd/internal/cli"
+	"github.com/huffduff/huffduff/internal/obs"
+	"github.com/huffduff/huffduff/internal/telemetry"
+)
+
+func main() {
+	cli.Setup()
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9120", "listen address")
+		workers   = flag.Int("workers", 2, "concurrent campaign workers")
+		queue     = flag.Int("queue", 16, "max queued (unstarted) campaigns")
+		flightN   = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder capacity (events)")
+		eventsOut = flag.String("events-out", "", "append every telemetry event to this JSONL file")
+		drain     = flag.Duration("drain", 10*time.Minute, "max time to wait for running campaigns on shutdown")
+	)
+	flag.Parse()
+
+	col := obs.NewCollector()
+	flight := obs.NewFlightRecorder(*flightN)
+	sinks := []obs.Recorder{col, flight}
+	var sink *obs.JSONLSink
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		cli.Check(err)
+		defer f.Close()
+		sink = obs.NewJSONLSink(f)
+		sinks = append(sinks, sink)
+	}
+
+	d := telemetry.NewDaemon(telemetry.DaemonConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Recorder:   obs.Fanout(sinks...),
+	})
+	srv := telemetry.NewServer(telemetry.ServerOptions{
+		Collector: col,
+		Flight:    flight,
+		Campaigns: d,
+		Submitter: d,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	cli.Check(err)
+	log.Printf("huffduffd listening on http://%s (%d workers, queue %d)", l.Addr(), *workers, *queue)
+	log.Printf("endpoints: /metrics /healthz /campaigns /events /debug/pprof/")
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%s: draining campaigns (up to %s)...", s, *drain)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			log.Printf("events-out: %v", err)
+		}
+	}
+	log.Printf("huffduffd stopped")
+}

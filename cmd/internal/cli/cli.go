@@ -1,18 +1,24 @@
 // Package cli holds the plumbing shared by every huffduff command-line
-// tool: logger setup, the model-name registry, and victim construction.
+// tool: logger setup, the model-name registry, victim construction, and the
+// shared observability flags.
 package cli
 
 import (
-	"fmt"
+	"flag"
 	"log"
 	"math/rand"
+	"os"
+	"strings"
 
 	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prune"
 )
 
-// ModelNames is the canonical model list for flag help strings.
-const ModelNames = "smallcnn|vggs|resnet18|alexnet|mobilenetv2"
+// ModelNames is the canonical model list for flag help strings, derived
+// from the registry in internal/models so it can never drift from the
+// actual model list.
+var ModelNames = strings.Join(models.Names(), "|")
 
 // Setup configures the standard logger the way every tool wants it: bare
 // messages, no timestamp prefix.
@@ -29,19 +35,7 @@ func Check(err error) {
 
 // ArchByName resolves a -model flag value to a victim architecture.
 func ArchByName(name string, scale int) (*models.Arch, error) {
-	switch name {
-	case "smallcnn":
-		return models.SmallCNN(), nil
-	case "vggs":
-		return models.VGGS(scale), nil
-	case "resnet18":
-		return models.ResNet18(scale), nil
-	case "alexnet":
-		return models.AlexNet(scale), nil
-	case "mobilenetv2":
-		return models.MobileNetV2(scale), nil
-	}
-	return nil, fmt.Errorf("unknown model %q (want %s)", name, ModelNames)
+	return models.ByName(name, scale)
 }
 
 // BuildPruned instantiates a victim's weights from seed and applies global
@@ -57,4 +51,28 @@ func BuildPruned(arch *models.Arch, seed int64, keep float64) (*models.Binding, 
 		prune.GlobalMagnitude(bind.Net.Params(), keep)
 	}
 	return bind, rng, nil
+}
+
+// MetricsOutFlag registers the shared -metrics-out flag every instrumented
+// tool accepts and returns its value pointer. Call before flag.Parse.
+func MetricsOutFlag() *string {
+	return flag.String("metrics-out", "", "write the run's metrics JSON (counters, gauges, histograms) to this file")
+}
+
+// WriteMetrics writes col's metrics JSON to path. It is a no-op when path
+// is empty or col is nil, and logs (rather than aborts) on I/O errors — a
+// failed metrics dump must not turn a finished run into a failure.
+func WriteMetrics(col *obs.Collector, path string) {
+	if col == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("observability: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := col.WriteMetrics(f); err != nil {
+		log.Printf("observability: write %s: %v", path, err)
+	}
 }

@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/models"
+)
+
+// TestEveryRegisteredNameResolves pins the registry contract: every name in
+// models.Names() builds an architecture, and ModelNames lists exactly those
+// names, so help strings can never drift from the real model list.
+func TestEveryRegisteredNameResolves(t *testing.T) {
+	names := models.Names()
+	if len(names) == 0 {
+		t.Fatal("model registry is empty")
+	}
+	for _, name := range names {
+		arch, err := ArchByName(name, 16)
+		if err != nil {
+			t.Errorf("ArchByName(%q) failed: %v", name, err)
+			continue
+		}
+		if arch == nil || len(arch.Units) == 0 {
+			t.Errorf("ArchByName(%q) returned an empty architecture", name)
+		}
+	}
+	if got, want := ModelNames, strings.Join(names, "|"); got != want {
+		t.Fatalf("ModelNames = %q, want %q", got, want)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	if _, err := ArchByName("nope", 1); err == nil {
+		t.Fatal("ArchByName accepted an unregistered name")
+	}
+}

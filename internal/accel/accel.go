@@ -13,6 +13,7 @@ package accel
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/huffduff/huffduff/internal/dram"
 	"github.com/huffduff/huffduff/internal/faults"
@@ -123,7 +124,14 @@ type Machine struct {
 	weightAddrs []addrRange // per unit
 	rng         *rand.Rand
 	stats       Stats
-	campaign    CampaignStats
+
+	// statsMu guards the published snapshots below. Run itself is not
+	// concurrent (one machine serves one campaign at a time), but live
+	// telemetry readers — the /campaigns endpoint, a scraping exporter —
+	// snapshot LastStats/Campaign while a worker is mid-campaign.
+	statsMu   sync.Mutex
+	published Stats
+	campaign  CampaignStats
 }
 
 type addrRange struct {

@@ -92,10 +92,17 @@ func (s Stats) String() string {
 		s.DRAMReadBytes, s.DRAMWriteBytes, s.EffectualMACs, s.Speedup(), s.Latency*1e6, s.EnergyPJ.Total()/1e6)
 }
 
-// LastStats returns the statistics of the most recent Run (zero value
-// before the first inference). Stats reset at the start of every Run; use
-// Campaign for totals across runs.
-func (m *Machine) LastStats() Stats { return m.stats }
+// LastStats returns the statistics of the most recent completed Run (zero
+// value before the first inference). Use Campaign for totals across runs.
+// Safe to call concurrently with a running campaign: in-flight runs are
+// invisible until they finalize.
+func (m *Machine) LastStats() Stats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	out := m.published
+	out.Layers = append([]LayerStats(nil), m.published.Layers...)
+	return out
+}
 
 // CampaignStats accumulates device telemetry across every Run since machine
 // creation (or the last ResetCampaign): the per-layer breakdown a whole
@@ -117,15 +124,23 @@ type CampaignStats struct {
 	Layers []LayerStats `json:"layers"`
 }
 
-// Campaign returns a copy of the accumulated campaign telemetry.
+// Campaign returns a copy of the accumulated campaign telemetry. Safe to
+// call concurrently with a running campaign: runs publish their stats
+// atomically as they finalize, so readers always see a consistent total.
 func (m *Machine) Campaign() CampaignStats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
 	out := m.campaign
 	out.Layers = append([]LayerStats(nil), m.campaign.Layers...)
 	return out
 }
 
 // ResetCampaign clears the accumulated campaign telemetry.
-func (m *Machine) ResetCampaign() { m.campaign = CampaignStats{} }
+func (m *Machine) ResetCampaign() {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	m.campaign = CampaignStats{}
+}
 
 // String renders the campaign as a per-layer table.
 func (c CampaignStats) String() string {
@@ -204,7 +219,13 @@ func (m *Machine) finalizeStats(latency float64) {
 		GLB:  glbBytes * EnergyPerGLBByte,
 		MAC:  m.stats.EffectualMACs * EnergyPerMAC,
 	}
+	// Publish the finished run for concurrent snapshot readers; m.stats
+	// itself stays private to the runner.
+	m.statsMu.Lock()
+	m.published = m.stats
+	m.published.Layers = append([]LayerStats(nil), m.stats.Layers...)
 	m.accumulateCampaign()
+	m.statsMu.Unlock()
 	m.emitTelemetry()
 }
 

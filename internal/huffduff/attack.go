@@ -51,6 +51,13 @@ type Config struct {
 	// convergence diagnostics. Nil (the default) disables instrumentation at
 	// the cost of one nil-check per site.
 	Obs obs.Recorder
+	// Progress, when set, receives coarse live progress: each pipeline
+	// stage as it begins (calibrate, probe, solve, geometry, timing,
+	// finalize) with done=total=0, and — during the probing campaign —
+	// per-position counts (done positions, campaign total). It runs on the
+	// attack goroutine; keep it cheap and non-blocking. Long-running
+	// services (cmd/huffduffd) use it to report live campaign state.
+	Progress func(stage string, done, total int)
 }
 
 // DefaultConfig matches the paper's evaluation setup: a clean simulated
@@ -188,11 +195,21 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	// device model.
 	cfg.Probe.Consistency = &fin
 	cfg.Probe.BlockBytes = cfg.BlockBytes
+	if cfg.Progress != nil && cfg.Probe.Progress == nil {
+		report := cfg.Progress
+		cfg.Probe.Progress = func(done, total int) { report("probe", done, total) }
+	}
+	stage := func(ctx context.Context, name string) (context.Context, func()) {
+		if cfg.Progress != nil {
+			cfg.Progress(name, 0, 0)
+		}
+		return stageSpan(ctx, name)
+	}
 
 	res := &Result{}
 
 	// 1. Calibration.
-	cctx, endCal := stageSpan(ctx, "calibrate")
+	cctx, endCal := stage(ctx, "calibrate")
 	g, err := calibrate(cctx, victim, cfg, res)
 	endCal()
 	if err != nil {
@@ -201,7 +218,7 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	res.Graph = g
 
 	// 2. Probing campaign.
-	pctx, endProbe := stageSpan(ctx, "probe")
+	pctx, endProbe := stage(ctx, "probe")
 	data, err := CollectContext(pctx, victim, g, fin.InC, fin.InH, fin.InW, cfg.Probe)
 	endProbe()
 	if err != nil {
@@ -212,20 +229,20 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	// 3. Geometry solve, with the §8.2 convergence loop and — if the solve
 	// finds no consistent geometry — one escalation into the §9.2
 	// repeated-measurement mode.
-	sctx, endSolve := stageSpan(ctx, "solve")
+	sctx, endSolve := stage(ctx, "solve")
 	pr, conv, serr := solveConverged(sctx, data, cfg)
 	endSolve()
 	if serr != nil && cfg.EscalateNoiseTolerant && !cfg.Probe.NoiseTolerant {
 		ncfg := cfg.Probe
 		ncfg.NoiseTolerant = true
-		pctx, endProbe := stageSpan(ctx, "probe")
+		pctx, endProbe := stage(ctx, "probe")
 		nd, nerr := CollectContext(pctx, victim, g, fin.InC, fin.InH, fin.InW, ncfg)
 		endProbe()
 		if nerr != nil {
 			return nil, faults.Stage("probe", fmt.Errorf("noise-tolerant escalation after solve failure (%v): %w", serr, nerr))
 		}
 		res.VictimRetries += nd.Retries
-		sctx, endSolve := stageSpan(ctx, "solve")
+		sctx, endSolve := stage(ctx, "solve")
 		pr2, conv2, serr2 := solveConverged(sctx, nd, cfg)
 		endSolve()
 		if serr2 == nil {
@@ -241,7 +258,7 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	res.Converged, res.TrialsConverged, res.Confidence = conv.converged, conv.trialsConverged, conv.confidence
 
 	// 4. Spatial propagation.
-	_, endGeom := stageSpan(ctx, "geometry")
+	_, endGeom := stage(ctx, "geometry")
 	dims, err := PropagateDims(g, pr, fin.InH)
 	endGeom()
 	if err != nil {
@@ -252,7 +269,7 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	// 5. Timing channel — from the per-inference Δt samples the campaign
 	// gathered, falling back to the calibration interval if none exist.
 	var terr error
-	_, endTiming := stageSpan(ctx, "timing")
+	_, endTiming := stage(ctx, "timing")
 	if len(data.Enc) > 0 {
 		res.Timing, terr = TimingChannelFromSamples(g, dims, data.Enc, cfg.TimingTolerance)
 	} else {
@@ -263,7 +280,7 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 
 	// 6. Solution space, with graceful degradation when the timing channel
 	// cannot be trusted.
-	fctx, endFinalize := stageSpan(ctx, "finalize")
+	fctx, endFinalize := stage(ctx, "finalize")
 	defer endFinalize()
 	if terr == nil {
 		space, ferr := Finalize(g, pr, dims, res.Timing, fin)

@@ -77,6 +77,11 @@ type ProbeConfig struct {
 	// the repeat-until-agreement aggregation — any tolerance also forgives
 	// rare genuine boundary distinctions.
 	RobustMismatchBudget int
+	// Progress, when set, is invoked after every completed probe position
+	// with the positions done so far and the campaign total
+	// (Trials × families × Q). It runs on the collection goroutine between
+	// victim inferences — keep it cheap and non-blocking.
+	Progress func(done, total int)
 }
 
 // DefaultProbeConfig returns the configuration used in the evaluation.
@@ -423,6 +428,10 @@ func CollectContext(ctx context.Context, victim Victim, g *ObsGraph, inC, inH, i
 					varCnt++
 				}
 				qspan.End()
+				if cfg.Progress != nil {
+					done := (t*len(families)+fi)*cfg.Q + q + 1
+					cfg.Progress(done, cfg.Trials*len(families)*cfg.Q)
+				}
 			}
 		}
 		tspan.End()

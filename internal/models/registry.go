@@ -1,0 +1,39 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// zoo is the canonical name → constructor registry. Every constructor takes
+// the channel-width divisor; fixed-size architectures ignore it. Adding a
+// model here is the single step that makes it reachable from every CLI flag,
+// daemon job spec, and help string.
+var zoo = map[string]func(scale int) *Arch{
+	"smallcnn":    func(int) *Arch { return SmallCNN() },
+	"vggs":        VGGS,
+	"resnet18":    ResNet18,
+	"alexnet":     AlexNet,
+	"mobilenetv2": MobileNetV2,
+}
+
+// Names returns every registered model name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(zoo))
+	for name := range zoo {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a registered model name to a victim architecture at the
+// given channel-width divisor.
+func ByName(name string, scale int) (*Arch, error) {
+	mk, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (want %s)", name, strings.Join(Names(), "|"))
+	}
+	return mk(scale), nil
+}

@@ -131,10 +131,16 @@ const (
 	maxBucket = 40  // 2^40 ≈ 1.1e12
 )
 
-// bucketOf returns the log-scale bucket index for v.
+// bucketOf returns the log-scale bucket index for v. Non-positive values
+// and NaN fall into the lowest bucket; +Inf clamps to the highest (the
+// float-to-int conversion of an infinite Log2 is platform-defined, so the
+// clamp must happen before it).
 func bucketOf(v float64) int {
-	if v <= 0 {
+	if v <= 0 || math.IsNaN(v) {
 		return minBucket
+	}
+	if math.IsInf(v, 1) {
+		return maxBucket
 	}
 	i := int(math.Ceil(math.Log2(v)))
 	if i < minBucket {

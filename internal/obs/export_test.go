@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUnendedSpanClosesAtLatestTimestamp pins the export rule for spans
+// that never ended: their E event is emitted at the latest timestamp the
+// collector has observed (here, the end of a later sibling), never before.
+func TestUnendedSpanClosesAtLatestTimestamp(t *testing.T) {
+	col := NewCollector()
+	base := time.Now()
+	col.SpanStart("root", 1, 0, base)
+	col.SpanStart("dangling", 2, 1, base.Add(1*time.Millisecond))
+	col.SpanStart("later", 3, 1, base.Add(2*time.Millisecond))
+	col.SpanEnd(3, base.Add(50*time.Millisecond)) // the latest observation
+	// Spans 1 and 2 never end.
+
+	raw, err := col.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	latest := 0.0
+	for _, ev := range doc.TraceEvents {
+		if ev.TS > latest {
+			latest = ev.TS
+		}
+	}
+	closes := map[string]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "E" {
+			closes[ev.Name] = ev.TS
+		}
+	}
+	for _, name := range []string{"root", "dangling", "later"} {
+		if _, ok := closes[name]; !ok {
+			t.Fatalf("span %q has no E event:\n%s", name, raw)
+		}
+	}
+	// "later" genuinely ended 50ms in; both unended spans must be closed
+	// exactly there, the latest observed timestamp.
+	for _, name := range []string{"root", "dangling"} {
+		if closes[name] != latest {
+			t.Errorf("unended span %q closed at %v, want latest %v", name, closes[name], latest)
+		}
+	}
+	if latest < 45e3 { // microseconds
+		t.Fatalf("latest timestamp %v us, want ~50ms from the ended span", latest)
+	}
+}
+
+// TestExportWhileRecording races every export path against live recording;
+// it exists to run under -race (the CI obs step). A live telemetry server
+// scrapes PromText and dumps traces while campaign goroutines are still
+// writing.
+func TestExportWhileRecording(t *testing.T) {
+	col := NewCollector()
+	col.Count("exports", "", 1) // so the first scrape is never empty
+	base := WithRecorder(context.Background(), col)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx, root := Startf(base, "writer%d", g)
+			defer root.End()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ictx, sp := Start(ctx, "iter")
+				Count(ictx, "iters", "", 1)
+				Gauge(ictx, "depth", "", float64(i))
+				Observe(ictx, "latency", "", float64(i%1000)*1e-6)
+				sp.End()
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := col.TraceJSON(); err != nil {
+			t.Fatalf("TraceJSON during recording: %v", err)
+		}
+		if col.PromText() == "" {
+			t.Fatal("PromText empty during recording")
+		}
+		col.Metrics()
+		col.Tree()
+	}
+	close(stop)
+	wg.Wait()
+}

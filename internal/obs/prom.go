@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromText renders the collector's current metric state in the Prometheus
+// text exposition format (version 0.0.4), the payload a /metrics endpoint
+// serves to a scraping Prometheus.
+//
+// Metric names are sanitized to the Prometheus charset (dots become
+// underscores), the single "k=v" label convention of this package maps to a
+// proper label pair, and the log-bucketed histograms are converted to
+// cumulative `le` buckets: bucket i of our histograms covers (2^(i-1), 2^i],
+// so `le="2^i"` carries the count of every bucket up to and including i, and
+// `le="+Inf"` equals the sample count. Output order is deterministic.
+func (c *Collector) PromText() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sb strings.Builder
+	writeScalarFamilies(&sb, c.counters, "counter")
+	writeScalarFamilies(&sb, c.gauges, "gauge")
+
+	keys := sortedKeys(c.hists)
+	for i := 0; i < len(keys); {
+		name := keys[i].name
+		prom := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", prom)
+		for ; i < len(keys) && keys[i].name == name; i++ {
+			h := c.hists[keys[i]]
+			writePromHistogram(&sb, prom, keys[i].label, h)
+		}
+	}
+	return sb.String()
+}
+
+// WriteProm writes the Prometheus text exposition to w.
+func (c *Collector) WriteProm(w io.Writer) error {
+	_, err := io.WriteString(w, c.PromText())
+	return err
+}
+
+// writeScalarFamilies renders one metric kind (counters or gauges) grouped
+// into families: one TYPE line per metric name, one sample per label.
+func writeScalarFamilies(sb *strings.Builder, m map[metricKey]float64, kind string) {
+	keys := sortedKeys(m)
+	for i := 0; i < len(keys); {
+		name := keys[i].name
+		prom := promName(name)
+		fmt.Fprintf(sb, "# TYPE %s %s\n", prom, kind)
+		for ; i < len(keys) && keys[i].name == name; i++ {
+			fmt.Fprintf(sb, "%s%s %g\n", prom, promLabels(keys[i].label, ""), m[keys[i]])
+		}
+	}
+}
+
+// writePromHistogram renders one histogram series as cumulative le buckets
+// plus the _sum and _count samples.
+func writePromHistogram(sb *strings.Builder, prom, label string, h *histogram) {
+	idxs := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		idxs = append(idxs, b)
+	}
+	sort.Ints(idxs)
+	cum := uint64(0)
+	for _, b := range idxs {
+		cum += h.buckets[b]
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", prom, promLabels(label, fmt.Sprintf("%g", pow2(b))), cum)
+	}
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", prom, promLabels(label, "+Inf"), h.count)
+	fmt.Fprintf(sb, "%s_sum%s %g\n", prom, promLabels(label, ""), h.sum)
+	fmt.Fprintf(sb, "%s_count%s %d\n", prom, promLabels(label, ""), h.count)
+}
+
+// promName maps a metric name of this package onto the Prometheus name
+// charset [a-zA-Z0-9_:], replacing every other rune with '_'.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLabels renders this package's "k=v" label convention (comma-separated
+// for multiple pairs) plus an optional `le` bound as a Prometheus label set.
+// A label with no '=' becomes {label="<value>"}.
+func promLabels(label, le string) string {
+	var pairs []string
+	if label != "" {
+		for _, part := range strings.Split(label, ",") {
+			k, v, ok := strings.Cut(part, "=")
+			if !ok {
+				k, v = "label", part
+			}
+			pairs = append(pairs, fmt.Sprintf("%s=%q", promName(k), v))
+		}
+	}
+	if le != "" {
+		pairs = append(pairs, fmt.Sprintf("le=%q", le))
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestBucketOfEdges pins the log-bucket edge cases: non-positive values and
+// NaN sink to the lowest bucket, exact powers of two land on their own
+// index (bucket i covers (2^(i-1), 2^i]), and +Inf clamps to the highest
+// bucket rather than falling through the float→int conversion.
+func TestBucketOfEdges(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, minBucket},
+		{-1e300, minBucket},
+		{math.Inf(-1), minBucket},
+		{math.NaN(), minBucket},
+		{1e-300, minBucket},
+		// Exact powers of two: 2^i is the inclusive upper edge of bucket i.
+		{0.25, -2},
+		{0.5, -1},
+		{1, 0},
+		{2, 1},
+		{1024, 10},
+		{math.Pow(2, 39), 39},
+		{math.Pow(2, 40), 40},
+		// Just past a power of two rounds up to the next bucket.
+		{math.Nextafter(1, 2), 1},
+		{1e300, maxBucket},
+		{math.Inf(1), maxBucket},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// promSample matches one Prometheus text-format sample line.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_:]+="[^"]*"(,[a-zA-Z0-9_:]+="[^"]*")*\})? [^ ]+$`)
+
+// TestPromTextFormatAndCumulativeInvariant exercises the exporter end to
+// end: every sample line is syntactically valid Prometheus text, and every
+// histogram satisfies the cumulative-bucket invariant — bucket counts are
+// monotone non-decreasing in `le` order and the `+Inf` bucket equals the
+// sample count.
+func TestPromTextFormatAndCumulativeInvariant(t *testing.T) {
+	col := NewCollector()
+	col.Count("victim.inferences", "", 41)
+	col.Count("victim.retries", "class=transient", 2)
+	col.Count("victim.retries", "class=trace_corrupt", 3)
+	col.Gauge("solution.space.count", "", 12)
+	for _, v := range []float64{0.1, 0.25, 0.26, 1, 3, 1024, math.Inf(1), -1} {
+		col.Observe("stage.seconds", "stage=probe", v)
+	}
+	col.Observe("stage.seconds", "stage=solve", 0.5)
+
+	text := col.PromText()
+	var bucketCounts []uint64
+	var infCount, sampleCount uint64
+	seenTypes := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			seenTypes[fields[2]+" "+fields[3]] = true
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("invalid Prometheus sample line: %q", line)
+		}
+		switch {
+		case strings.HasPrefix(line, `stage_seconds_bucket{stage="probe",le="+Inf"}`):
+			infCount = parseUint(t, line)
+		case strings.HasPrefix(line, `stage_seconds_bucket{stage="probe",`):
+			bucketCounts = append(bucketCounts, parseUint(t, line))
+		case strings.HasPrefix(line, `stage_seconds_count{stage="probe"}`):
+			sampleCount = parseUint(t, line)
+		}
+	}
+	for _, want := range []string{
+		"victim_inferences counter",
+		"victim_retries counter",
+		"solution_space_count gauge",
+		"stage_seconds histogram",
+	} {
+		if !seenTypes[want] {
+			t.Errorf("missing TYPE declaration %q in:\n%s", want, text)
+		}
+	}
+	if len(bucketCounts) == 0 {
+		t.Fatalf("no le buckets for stage=probe in:\n%s", text)
+	}
+	last := uint64(0)
+	for i, n := range bucketCounts {
+		if n < last {
+			t.Fatalf("cumulative bucket counts regress at index %d: %v", i, bucketCounts)
+		}
+		last = n
+	}
+	if infCount < last {
+		t.Fatalf("+Inf bucket %d below last finite bucket %d", infCount, last)
+	}
+	if sampleCount != 8 || infCount != sampleCount {
+		t.Fatalf("+Inf bucket = %d, _count = %d, want both 8", infCount, sampleCount)
+	}
+	// The labelled counter samples carry their values.
+	if !strings.Contains(text, `victim_retries{class="transient"} 2`) {
+		t.Fatalf("missing labelled counter sample in:\n%s", text)
+	}
+	if !strings.Contains(text, "victim_inferences 41") {
+		t.Fatalf("missing unlabelled counter sample in:\n%s", text)
+	}
+}
+
+func parseUint(t *testing.T, line string) uint64 {
+	t.Helper()
+	fields := strings.Fields(line)
+	n, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", line, err)
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one observability event in the streaming export: a span opening
+// or closing, or a metric update. Events are what the JSONL sink writes as
+// they happen and what the flight recorder retains for post-mortems.
+type Event struct {
+	// TS is the event time in nanoseconds since the Unix epoch.
+	TS int64 `json:"ts"`
+	// Kind is one of "span_start", "span_end", "count", "gauge", "observe".
+	Kind string `json:"kind"`
+	// Name is the span or metric name (empty for span_end: the ID suffices).
+	Name string `json:"name,omitempty"`
+	// Label is the metric series label in the package's "k=v" form.
+	Label string `json:"label,omitempty"`
+	// Span and Parent identify span events (0 = root parent).
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Value is the metric delta/value (unused for span events).
+	Value float64 `json:"value,omitempty"`
+}
+
+// eventKinds, fixed so streaming consumers can switch on them.
+const (
+	EventSpanStart = "span_start"
+	EventSpanEnd   = "span_end"
+	EventCount     = "count"
+	EventGauge     = "gauge"
+	EventObserve   = "observe"
+)
+
+// eventRecorder adapts a per-Event consumer into a Recorder.
+type eventRecorder struct {
+	emit func(Event)
+}
+
+func (r eventRecorder) SpanStart(name string, id, parent uint64, start time.Time) {
+	r.emit(Event{TS: start.UnixNano(), Kind: EventSpanStart, Name: name, Span: id, Parent: parent})
+}
+func (r eventRecorder) SpanEnd(id uint64, end time.Time) {
+	r.emit(Event{TS: end.UnixNano(), Kind: EventSpanEnd, Span: id})
+}
+func (r eventRecorder) Count(name, label string, delta float64) {
+	r.emit(Event{TS: time.Now().UnixNano(), Kind: EventCount, Name: name, Label: label, Value: delta})
+}
+func (r eventRecorder) Gauge(name, label string, v float64) {
+	r.emit(Event{TS: time.Now().UnixNano(), Kind: EventGauge, Name: name, Label: label, Value: v})
+}
+func (r eventRecorder) Observe(name, label string, v float64) {
+	r.emit(Event{TS: time.Now().UnixNano(), Kind: EventObserve, Name: name, Label: label, Value: v})
+}
+
+// JSONLSink is a Recorder that streams every event to w as one JSON object
+// per line, as it happens — the push-side export path (DESIGN.md
+// "Observability"). Writes are serialized; the first write error is retained
+// and subsequent events are dropped (an observability sink must never take
+// the campaign down with it).
+type JSONLSink struct {
+	eventRecorder
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a JSONL sink writing to w. Wrap w in a bufio.Writer
+// (and flush it on shutdown) when the stream goes to a file.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{enc: json.NewEncoder(w)}
+	s.eventRecorder = eventRecorder{emit: s.write}
+	return s
+}
+
+func (s *JSONLSink) write(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Err returns the first write error the sink encountered, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// FlightRecorder is a Recorder that keeps the most recent Cap events in a
+// bounded ring buffer — always on, always cheap, always holding the moments
+// leading up to whatever just went wrong. Safe for concurrent use.
+type FlightRecorder struct {
+	eventRecorder
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// DefaultFlightEvents is the default ring capacity: enough for the tail of
+// a probing campaign without holding a campaign's worth of memory.
+const DefaultFlightEvents = 4096
+
+// NewFlightRecorder returns a flight recorder retaining the last n events
+// (n <= 0 selects DefaultFlightEvents).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	f := &FlightRecorder{ring: make([]Event, 0, n)}
+	f.eventRecorder = eventRecorder{emit: f.record}
+	return f
+}
+
+func (f *FlightRecorder) record(ev Event) {
+	f.mu.Lock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, ev)
+	} else {
+		f.ring[f.next] = ev
+	}
+	f.next = (f.next + 1) % cap(f.ring)
+	f.total++
+	f.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, 0, len(f.ring))
+	if len(f.ring) < cap(f.ring) {
+		return append(out, f.ring...)
+	}
+	out = append(out, f.ring[f.next:]...)
+	return append(out, f.ring[:f.next]...)
+}
+
+// Total returns how many events the recorder has seen (including those the
+// ring has since evicted).
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// WriteJSONL dumps the retained events to w, one JSON object per line,
+// oldest first.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range f.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanout broadcasts every Recorder call to each sink.
+type fanout []Recorder
+
+func (f fanout) SpanStart(name string, id, parent uint64, start time.Time) {
+	for _, r := range f {
+		r.SpanStart(name, id, parent, start)
+	}
+}
+func (f fanout) SpanEnd(id uint64, end time.Time) {
+	for _, r := range f {
+		r.SpanEnd(id, end)
+	}
+}
+func (f fanout) Count(name, label string, delta float64) {
+	for _, r := range f {
+		r.Count(name, label, delta)
+	}
+}
+func (f fanout) Gauge(name, label string, v float64) {
+	for _, r := range f {
+		r.Gauge(name, label, v)
+	}
+}
+func (f fanout) Observe(name, label string, v float64) {
+	for _, r := range f {
+		r.Observe(name, label, v)
+	}
+}
+
+// Fanout combines recorders into one that forwards every event to each.
+// Nil entries are skipped; zero live sinks yield nil (the universal off
+// switch, preserving the one-nil-check fast path); one live sink is
+// returned unwrapped.
+func Fanout(recs ...Recorder) Recorder {
+	live := make(fanout, 0, len(recs))
+	for _, r := range recs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestJSONLSinkStreamsEvents drives a JSONL sink through the normal
+// context-based instrumentation and checks that every event arrives as one
+// parseable JSON line, in order, as it happens.
+func TestJSONLSinkStreamsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	ctx := WithRecorder(context.Background(), sink)
+
+	ctx, root := Start(ctx, "attack")
+	Count(ctx, "victim.inferences", "", 2)
+	Gauge(ctx, "solution.space.count", "", 5)
+	Observe(ctx, "stage.seconds", "stage=probe", 0.25)
+	root.End()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	kinds := []string{EventSpanStart, EventCount, EventGauge, EventObserve, EventSpanEnd}
+	if len(events) != len(kinds) {
+		t.Fatalf("got %d events, want %d: %+v", len(events), len(kinds), events)
+	}
+	for i, want := range kinds {
+		if events[i].Kind != want {
+			t.Fatalf("event %d kind = %q, want %q", i, events[i].Kind, want)
+		}
+		if events[i].TS == 0 {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	if events[0].Name != "attack" || events[0].Span == 0 {
+		t.Fatalf("span_start event malformed: %+v", events[0])
+	}
+	if events[4].Span != events[0].Span {
+		t.Fatalf("span_end id %d does not match span_start id %d", events[4].Span, events[0].Span)
+	}
+	if events[3].Label != "stage=probe" || events[3].Value != 0.25 {
+		t.Fatalf("observe event malformed: %+v", events[3])
+	}
+}
+
+// errWriter fails after n writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLSinkRetainsFirstError(t *testing.T) {
+	sink := NewJSONLSink(&errWriter{n: 1})
+	sink.Count("a", "", 1)
+	if sink.Err() != nil {
+		t.Fatalf("first write failed: %v", sink.Err())
+	}
+	sink.Count("b", "", 1)
+	err := sink.Err()
+	if err == nil {
+		t.Fatal("write error not retained")
+	}
+	sink.Count("c", "", 1) // must not panic, must keep the first error
+	if sink.Err() != err {
+		t.Fatalf("retained error changed: %v -> %v", err, sink.Err())
+	}
+}
+
+// TestFlightRecorderRing checks the bounded ring: it retains exactly the
+// last N events, oldest first, while counting everything it has seen.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Count("seq", "", float64(i))
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := float64(6 + i); ev.Value != want {
+			t.Fatalf("event %d value = %v, want %v (oldest-first order)", i, ev.Value, want)
+		}
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(buf.Bytes(), []byte("\n")); n != 4 {
+		t.Fatalf("WriteJSONL wrote %d lines, want 4", n)
+	}
+}
+
+func TestFlightRecorderPartialRing(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.SpanStart("a", 1, 0, time.Now())
+	f.SpanEnd(1, time.Now())
+	evs := f.Events()
+	if len(evs) != 2 || evs[0].Kind != EventSpanStart || evs[1].Kind != EventSpanEnd {
+		t.Fatalf("partial ring malformed: %+v", evs)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	if Fanout() != nil || Fanout(nil, nil) != nil {
+		t.Fatal("empty fanout must collapse to nil (the off switch)")
+	}
+	col := NewCollector()
+	if Fanout(nil, col, nil) != Recorder(col) {
+		t.Fatal("single-sink fanout must return the sink unwrapped")
+	}
+	other := NewCollector()
+	multi := Fanout(col, other)
+	multi.Count("x", "", 2)
+	multi.Gauge("g", "", 1)
+	multi.Observe("h", "", 1)
+	multi.SpanStart("s", 1, 0, time.Now())
+	multi.SpanEnd(1, time.Now())
+	for _, c := range []*Collector{col, other} {
+		if c.CounterValue("x", "") != 2 {
+			t.Fatal("fanout did not reach every sink")
+		}
+	}
+}

@@ -13,8 +13,8 @@
 package sym
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -49,6 +49,7 @@ type node struct {
 type Interner struct {
 	nodes []node
 	index map[string]ID
+	kbuf  []byte // scratch for key construction; intern is the hot path
 }
 
 // NewInterner returns an interner pre-seeded with Zero and One.
@@ -65,38 +66,46 @@ func (in *Interner) Zero() ID { return 0 }
 // One is the multiplicative identity (used as the x of bias terms).
 func (in *Interner) One() ID { return 1 }
 
-func (in *Interner) key(n node) string {
-	var b strings.Builder
+// appendKey serializes n into buf. Interning is the engine's hottest path
+// (every symbolic Sum/Max lands here), so the key is built with integer
+// appends into a reusable scratch buffer rather than fmt.
+func appendKey(buf []byte, n node) []byte {
 	switch n.op {
 	case opZero:
-		b.WriteString("0")
+		buf = append(buf, '0')
 	case opOne:
-		b.WriteString("1")
+		buf = append(buf, '1')
 	case opVar:
-		b.WriteString("v:")
-		b.WriteString(n.name)
+		buf = append(buf, 'v', ':')
+		buf = append(buf, n.name...)
 	case opSum:
-		b.WriteString("s:")
+		buf = append(buf, 's', ':')
 		for _, t := range n.terms {
-			fmt.Fprintf(&b, "%d*%d,", t.Coef, t.X)
+			buf = strconv.AppendInt(buf, int64(t.Coef), 10)
+			buf = append(buf, '*')
+			buf = strconv.AppendInt(buf, int64(t.X), 10)
+			buf = append(buf, ',')
 		}
 	case opMax:
-		b.WriteString("m:")
+		buf = append(buf, 'm', ':')
 		for _, a := range n.args {
-			fmt.Fprintf(&b, "%d,", a)
+			buf = strconv.AppendInt(buf, int64(a), 10)
+			buf = append(buf, ',')
 		}
 	}
-	return b.String()
+	return buf
 }
 
 func (in *Interner) intern(n node) ID {
-	k := in.key(n)
-	if id, ok := in.index[k]; ok {
+	in.kbuf = appendKey(in.kbuf[:0], n)
+	// map[string]ID lookup keyed by []byte compiles to a no-alloc probe;
+	// the key string is materialized only for genuinely new expressions.
+	if id, ok := in.index[string(in.kbuf)]; ok {
 		return id
 	}
 	id := ID(len(in.nodes))
 	in.nodes = append(in.nodes, n)
-	in.index[k] = id
+	in.index[string(in.kbuf)] = id
 	return id
 }
 

@@ -1,0 +1,364 @@
+// Package telemetry turns the post-hoc observability of internal/obs into a
+// live service: a campaign daemon that runs attack jobs on a bounded worker
+// pool, and an HTTP server exposing Prometheus metrics, live campaign
+// progress (including per-layer accelerator telemetry), a JSONL event
+// stream, and pprof — what an operator watches while campaigns run, instead
+// of what a post-mortem reads after they end.
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/chaos"
+	attack "github.com/huffduff/huffduff/internal/huffduff"
+	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/obs"
+	"github.com/huffduff/huffduff/internal/prune"
+)
+
+// JobSpec is one campaign job as submitted over HTTP POST. Zero fields take
+// the defaults below, so `{"model": "smallcnn"}` is a complete job.
+type JobSpec struct {
+	// Model is a registered model name (models.Names()).
+	Model string `json:"model"`
+	// Scale is the channel-width divisor (default 16).
+	Scale int `json:"scale,omitempty"`
+	// Keep is the fraction of weights kept after pruning (default 0.5).
+	Keep float64 `json:"keep,omitempty"`
+	// Trials and Q shape the probing campaign (defaults 16 and 16).
+	Trials int `json:"trials,omitempty"`
+	Q      int `json:"q,omitempty"`
+	// Seed drives victim construction and probing (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Robust selects the fault-hardened pipeline configuration.
+	Robust bool `json:"robust,omitempty"`
+	// Chaos wraps the victim in the fault-injection layer with ChaosSeed.
+	Chaos     bool  `json:"chaos,omitempty"`
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+}
+
+// withDefaults fills zero fields with the daemon defaults.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Scale == 0 {
+		s.Scale = 16
+	}
+	if s.Keep == 0 {
+		s.Keep = 0.5
+	}
+	if s.Trials == 0 {
+		s.Trials = 16
+	}
+	if s.Q == 0 {
+		s.Q = 16
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.ChaosSeed == 0 {
+		s.ChaosSeed = 1
+	}
+	return s
+}
+
+// Validate rejects specs the daemon could not run.
+func (s JobSpec) Validate() error {
+	if _, err := models.ByName(s.Model, s.Scale); err != nil {
+		return err
+	}
+	if s.Keep < 0 || s.Keep > 1 {
+		return fmt.Errorf("telemetry: keep = %g, want (0, 1]", s.Keep)
+	}
+	if s.Trials < 1 || s.Q < 2 {
+		return fmt.Errorf("telemetry: trials = %d, q = %d, want trials >= 1 and q >= 2", s.Trials, s.Q)
+	}
+	return nil
+}
+
+// Campaign states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// CampaignSnapshot is the JSON view of one campaign that /campaigns serves:
+// its spec, lifecycle timestamps, live pipeline progress, and — live while
+// running, final once finished — the per-layer device telemetry the victim
+// accelerator accumulated.
+type CampaignSnapshot struct {
+	ID        int        `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	State     string     `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Stage is the pipeline stage most recently entered; ProbeDone/Total
+	// track per-position probe progress within the probing stage.
+	Stage      string `json:"stage,omitempty"`
+	ProbeDone  int    `json:"probe_done,omitempty"`
+	ProbeTotal int    `json:"probe_total,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Outcome of a finished campaign.
+	VictimQueries int  `json:"victim_queries,omitempty"`
+	VictimRetries int  `json:"victim_retries,omitempty"`
+	SolutionCount int  `json:"solution_count,omitempty"`
+	Degraded      bool `json:"degraded,omitempty"`
+	// Device is the victim-side telemetry (simulated device time, per-layer
+	// DRAM/MAC/encode breakdown), snapshotted live from the machine.
+	Device *accel.CampaignStats `json:"device,omitempty"`
+}
+
+// campaign is the daemon-internal mutable record behind a snapshot.
+type campaign struct {
+	mu      sync.Mutex
+	snap    CampaignSnapshot
+	machine *accel.Machine // set once running; its stats are lock-protected
+}
+
+// update mutates the record under its lock.
+func (c *campaign) update(f func(*CampaignSnapshot)) {
+	c.mu.Lock()
+	f(&c.snap)
+	c.mu.Unlock()
+}
+
+// snapshot returns a consistent copy, with live device telemetry attached.
+func (c *campaign) snapshot() CampaignSnapshot {
+	c.mu.Lock()
+	out := c.snap
+	m := c.machine
+	c.mu.Unlock()
+	if m != nil {
+		dev := m.Campaign() // concurrency-safe snapshot (accel.statsMu)
+		out.Device = &dev
+		out.VictimQueries = dev.Runs
+	}
+	return out
+}
+
+// DaemonConfig sizes the campaign daemon.
+type DaemonConfig struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the submitted-but-unstarted backlog (default 16);
+	// submissions beyond it are rejected rather than buffered without
+	// bound.
+	QueueDepth int
+	// Recorder receives every campaign's spans and metrics — typically an
+	// obs.Fanout of the serving Collector, a FlightRecorder, and an
+	// optional JSONL file sink. Nil runs campaigns uninstrumented.
+	Recorder obs.Recorder
+}
+
+// Daemon runs campaign jobs on a bounded worker pool and retains every
+// campaign record for /campaigns. It implements the server's CampaignSource
+// and Submitter.
+type Daemon struct {
+	cfg  DaemonConfig
+	jobs chan *campaign
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	campaigns []*campaign
+}
+
+// ErrQueueFull rejects submissions beyond the configured backlog.
+var ErrQueueFull = errors.New("telemetry: job queue full")
+
+// ErrShuttingDown rejects submissions after Shutdown began.
+var ErrShuttingDown = errors.New("telemetry: daemon shutting down")
+
+// NewDaemon starts the worker pool and returns the running daemon.
+func NewDaemon(cfg DaemonConfig) *Daemon {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	d := &Daemon{cfg: cfg, jobs: make(chan *campaign, cfg.QueueDepth)}
+	for i := 0; i < cfg.Workers; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for c := range d.jobs {
+				d.run(c)
+			}
+		}()
+	}
+	return d
+}
+
+// Submit validates and enqueues a job, returning its queued snapshot. The
+// job runs as soon as a worker frees up.
+func (d *Daemon) Submit(spec JobSpec) (CampaignSnapshot, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return CampaignSnapshot{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return CampaignSnapshot{}, ErrShuttingDown
+	}
+	c := &campaign{snap: CampaignSnapshot{
+		ID:        len(d.campaigns) + 1,
+		Spec:      spec,
+		State:     StateQueued,
+		Submitted: time.Now(),
+	}}
+	select {
+	case d.jobs <- c:
+	default:
+		return CampaignSnapshot{}, ErrQueueFull
+	}
+	d.campaigns = append(d.campaigns, c)
+	d.count("daemon.jobs_submitted", "", 1)
+	return c.snapshot(), nil
+}
+
+// Campaigns returns a snapshot of every campaign, oldest first.
+func (d *Daemon) Campaigns() []CampaignSnapshot {
+	d.mu.Lock()
+	list := append([]*campaign(nil), d.campaigns...)
+	d.mu.Unlock()
+	out := make([]CampaignSnapshot, len(list))
+	for i, c := range list {
+		out[i] = c.snapshot()
+	}
+	return out
+}
+
+// CampaignByID returns one campaign's snapshot.
+func (d *Daemon) CampaignByID(id int) (CampaignSnapshot, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 1 || id > len(d.campaigns) {
+		return CampaignSnapshot{}, false
+	}
+	return d.campaigns[id-1].snapshot(), true
+}
+
+// Shutdown stops accepting jobs, lets the workers drain the queue and
+// finish running campaigns, and returns once the pool is idle or ctx
+// expires (in which case campaigns still running are abandoned to the
+// process exit).
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.jobs)
+	}
+	d.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("telemetry: shutdown: %w", ctx.Err())
+	}
+}
+
+// count publishes a daemon-level counter when a recorder is configured.
+func (d *Daemon) count(name, label string, v float64) {
+	if d.cfg.Recorder != nil {
+		d.cfg.Recorder.Count(name, label, v)
+	}
+}
+
+// run executes one campaign end to end, publishing progress into the record
+// and spans/metrics into the shared recorder.
+func (d *Daemon) run(c *campaign) {
+	started := time.Now()
+	c.update(func(s *CampaignSnapshot) {
+		s.State = StateRunning
+		s.Started = &started
+	})
+	spec := c.snapshot().Spec
+	d.count("daemon.jobs_started", "model="+spec.Model, 1)
+
+	res, err := d.attack(c, spec)
+	finished := time.Now()
+	c.update(func(s *CampaignSnapshot) {
+		s.Finished = &finished
+		if err != nil {
+			s.State = StateFailed
+			s.Error = err.Error()
+		} else {
+			s.State = StateDone
+			s.SolutionCount = res.Space.Count()
+			s.Degraded = res.Degraded
+			s.VictimRetries = res.VictimRetries
+		}
+	})
+	outcome := "done"
+	if err != nil {
+		outcome = "failed"
+	}
+	d.count("daemon.campaigns", "state="+outcome, 1)
+	if d.cfg.Recorder != nil {
+		d.cfg.Recorder.Observe("daemon.campaign.seconds", "model="+spec.Model, finished.Sub(started).Seconds())
+	}
+}
+
+// attack deploys the victim and runs the pipeline for one campaign.
+func (d *Daemon) attack(c *campaign, spec JobSpec) (*attack.Result, error) {
+	arch, err := models.ByName(spec.Model, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	bind, err := arch.Build(rng)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Keep < 1 {
+		prune.GlobalMagnitude(bind.Net.Params(), spec.Keep)
+	}
+
+	acfg := accel.DefaultConfig()
+	acfg.Seed = spec.Seed
+	acfg.Obs = d.cfg.Recorder
+	machine := accel.NewMachine(acfg, arch, bind)
+	c.mu.Lock()
+	c.machine = machine
+	c.mu.Unlock()
+
+	var victim attack.Victim = machine
+	if spec.Chaos {
+		ccfg := chaos.DefaultConfig()
+		ccfg.Seed = spec.ChaosSeed
+		ccfg.Obs = d.cfg.Recorder
+		victim = chaos.Wrap(victim, ccfg)
+	}
+
+	cfg := attack.DefaultConfig()
+	if spec.Robust {
+		cfg = attack.DefaultRobustConfig()
+	}
+	cfg.Probe.Trials = spec.Trials
+	cfg.Probe.Q = spec.Q
+	cfg.Probe.Seed = spec.Seed
+	cfg.Obs = d.cfg.Recorder
+	cfg.Progress = func(stage string, done, total int) {
+		c.update(func(s *CampaignSnapshot) {
+			s.Stage = stage
+			if total > 0 {
+				s.ProbeDone, s.ProbeTotal = done, total
+			}
+		})
+	}
+	return attack.Attack(victim, cfg)
+}

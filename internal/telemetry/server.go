@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/huffduff/huffduff/internal/obs"
+)
+
+// CampaignSource lists campaigns for /campaigns. *Daemon implements it.
+type CampaignSource interface {
+	Campaigns() []CampaignSnapshot
+	CampaignByID(id int) (CampaignSnapshot, bool)
+}
+
+// Submitter accepts campaign jobs for POST /campaigns. *Daemon implements
+// it; a nil Submitter makes the endpoint read-only.
+type Submitter interface {
+	Submit(JobSpec) (CampaignSnapshot, error)
+}
+
+// ServerOptions wires the telemetry server to its data sources. Every field
+// is optional: a missing source turns the corresponding endpoint into a
+// 404/empty response rather than a crash.
+type ServerOptions struct {
+	// Collector backs /metrics (Prometheus text format).
+	Collector *obs.Collector
+	// Flight backs /events (JSONL dump of the retained event tail).
+	Flight *obs.FlightRecorder
+	// Campaigns backs GET /campaigns and /campaigns/{id}.
+	Campaigns CampaignSource
+	// Submitter enables POST /campaigns.
+	Submitter Submitter
+	// DisablePprof removes the net/http/pprof handlers (on by default:
+	// on-demand CPU/heap profiles are half the point of a live daemon).
+	DisablePprof bool
+}
+
+// Server is the live telemetry HTTP server: /metrics, /healthz, /campaigns,
+// /events, and /debug/pprof on one mux.
+type Server struct {
+	opts ServerOptions
+	mux  *http.ServeMux
+	http *http.Server
+}
+
+// NewServer builds the server; call Serve or ListenAndServe to start it.
+func NewServer(opts ServerOptions) *Server {
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("/campaigns/", s.handleCampaignByID)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	if !opts.DisablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Handler exposes the mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.http.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.http.Addr = addr
+	err := s.http.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the HTTP server (in-flight requests finish).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Collector == nil {
+		http.Error(w, "no collector configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Collector.WriteProm(w)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Flight == nil {
+		http.Error(w, "no flight recorder configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.opts.Flight.WriteJSONL(w)
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if s.opts.Campaigns == nil {
+			writeJSON(w, http.StatusOK, []CampaignSnapshot{})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.opts.Campaigns.Campaigns())
+	case http.MethodPost:
+		if s.opts.Submitter == nil {
+			http.Error(w, "read-only server: no submitter configured", http.StatusMethodNotAllowed)
+			return
+		}
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		snap, err := s.opts.Submitter.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, ErrShuttingDown):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			writeJSON(w, http.StatusAccepted, snap)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Campaigns == nil {
+		http.NotFound(w, r)
+		return
+	}
+	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/campaigns/"))
+	if err != nil {
+		http.Error(w, "campaign IDs are integers", http.StatusBadRequest)
+		return
+	}
+	snap, ok := s.opts.Campaigns.CampaignByID(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
