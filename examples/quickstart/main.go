@@ -39,10 +39,10 @@ func main() {
 	fmt.Print(res.Graph.String())
 
 	fmt.Println("recovered conv geometry:")
-	for node, g := range map[int]string{1: "c1", 2: "c2", 3: "c3"} {
+	for node := 1; node <= 3; node++ {
 		geom := res.Probe.Geoms[node]
-		fmt.Printf("  %s: kernel %dx%d, stride %d, pool %d (k-ratio %.2f)\n",
-			g, geom.Kernel, geom.Kernel, geom.Stride, geom.Pool, res.Timing.KRatio[node])
+		fmt.Printf("  c%d: kernel %dx%d, stride %d, pool %d (k-ratio %.2f)\n",
+			node, geom.Kernel, geom.Kernel, geom.Stride, geom.Pool, res.Timing.KRatio[node])
 	}
 
 	sp := res.Space

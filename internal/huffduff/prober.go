@@ -214,10 +214,10 @@ func runObserved(ctx context.Context, victim Victim, img *tensor.Tensor, cfg Pro
 		}
 		segs, err := trace.Analyze(tr)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("huffduff: trace analysis: %w", err)
 		}
 		if err := trace.Validate(segs); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("huffduff: trace validation: %w", err)
 		}
 		if check != nil {
 			if err := check(segs); err != nil {
@@ -285,7 +285,7 @@ func CollectContext(ctx context.Context, victim Victim, g *ObsGraph, inC, inH, i
 	}
 	for _, f := range families {
 		if err := f.Validate(inH, inW); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("huffduff: probe family: %w", err)
 		}
 	}
 	pd := &ProbeData{Graph: g, Families: families, InH: inH, InW: inW, Cfg: cfg}

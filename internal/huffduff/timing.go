@@ -86,14 +86,14 @@ func (t *TimingResult) Record(rec obs.Recorder) {
 	if t == nil || rec == nil {
 		return
 	}
-	for id, r := range t.KRatio {
-		rec.Gauge("timing.kratio", fmt.Sprintf("node=%d", id), r)
+	for _, id := range sortedIntKeys(t.KRatio) {
+		rec.Gauge("timing.kratio", fmt.Sprintf("node=%d", id), t.KRatio[id])
 	}
-	for id, d := range t.Dispersion {
-		rec.Gauge("timing.dispersion", fmt.Sprintf("node=%d", id), d)
+	for _, id := range sortedIntKeys(t.Dispersion) {
+		rec.Gauge("timing.dispersion", fmt.Sprintf("node=%d", id), t.Dispersion[id])
 	}
-	for id, n := range t.SampleCount {
-		rec.Gauge("timing.samples", fmt.Sprintf("node=%d", id), float64(n))
+	for _, id := range sortedIntKeys(t.SampleCount) {
+		rec.Gauge("timing.samples", fmt.Sprintf("node=%d", id), float64(t.SampleCount[id]))
 	}
 }
 
@@ -203,6 +203,17 @@ func TimingChannelFromSamples(g *ObsGraph, dims *SpatialDims, samples [][]float6
 		res.KRatio[id] = perK[id] / perK[ref]
 	}
 	return res, nil
+}
+
+// sortedIntKeys returns the map's keys in ascending order, so per-node
+// diagnostics publish in a deterministic sequence.
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // median returns the middle order statistic without mutating its argument.

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in the numeric
+// core. Accumulated rounding makes exact equality a latent heisenbug — a
+// solve that agrees on one machine and disagrees on another — so
+// comparisons must go through tensor.ApproxEqual or an explicit tolerance.
+// Exact-sentinel checks (pruned weights are exactly zero by construction)
+// are legitimate but rare enough to earn a //lint:ignore with the reason
+// spelled out. The NaN idiom x != x is recognized and allowed.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= on floating-point operands; use tensor.ApproxEqual or " +
+		"an explicit tolerance",
+	Paths: []string{
+		"internal/tensor",
+		"internal/nn",
+		"internal/huffduff",
+	},
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info, bin.X) && !isFloat(info, bin.Y) {
+				return true
+			}
+			// x != x / x == x is the portable NaN test.
+			if sameIdent(bin.X, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.Pos(),
+				"%s compares floating-point values exactly; use tensor.ApproxEqual or an explicit tolerance", bin.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether the expression's type is (or aliases) a float.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameIdent reports whether both expressions are the same identifier.
+func sameIdent(x, y ast.Expr) bool {
+	xi, okX := ast.Unparen(x).(*ast.Ident)
+	yi, okY := ast.Unparen(y).(*ast.Ident)
+	return okX && okY && xi.Name == yi.Name
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// hostTimeFuncs are the package time entry points that read or block on the
+// host clock. Constructors like time.Duration arithmetic are fine — the
+// invariant is about *sampling* wall-clock time, which would contaminate
+// the encoding-interval side channel (§7 of the paper) with host noise.
+var hostTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// HostTime flags host-clock use inside the simulated-device packages. All
+// device latency — DRAM transactions, MAC issue, Huffman encoding stalls —
+// must flow through the cycle model (accel.Machine's cycle accounting), so
+// the timing side channel the attack measures is a property of the modeled
+// hardware, never of the machine running the simulation.
+var HostTime = &Analyzer{
+	Name: "hosttime",
+	Doc: "forbid time.Now/Since/Sleep and friends in simulated-device packages; " +
+		"device latency must come from the cycle model",
+	Paths: []string{
+		"internal/accel",
+		"internal/dram",
+		"internal/sparse",
+		"internal/trace",
+	},
+	Run: runHostTime,
+}
+
+func runHostTime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn, ok := pkgCall(pass.Pkg.Info, call)
+			if !ok || pkg != "time" || !hostTimeFuncs[fn] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the host clock inside a simulated-device package; device latency must come from the cycle model", fn)
+			return true
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgCall resolves a call of the form pkg.Fn(...) where pkg is an imported
+// package name, returning the package's import path and the function name.
+// Method calls and local calls return ok=false.
+func pkgCall(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPkg := info.Uses[id].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// calleeObject resolves the object a call invokes: a package-level function,
+// a method, or nil when the callee is dynamic (a function value, a
+// conversion, or a builtin).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// eachFuncBody visits every function body of the package — declarations,
+// methods, and function literals — calling fn with the enclosing body.
+func eachFuncBody(files []*ast.File, fn func(body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,38 @@
+// Package numeric is floateq analyzer testdata, loaded under a
+// numeric-core import path.
+package numeric
+
+// BadEqual compares floats exactly.
+func BadEqual(a, b float64) bool {
+	return a == b
+}
+
+// BadZero compares a float32 against a literal.
+func BadZero(x float32) bool {
+	return x != 0
+}
+
+// OKNaN uses the self-inequality NaN idiom.
+func OKNaN(x float64) bool {
+	return x != x
+}
+
+// OKInts compares integers.
+func OKInts(a, b int) bool {
+	return a == b
+}
+
+// OKTolerance is the expected pattern.
+func OKTolerance(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// OKSuppressed documents a deliberate exact-sentinel comparison.
+func OKSuppressed(w float64) bool {
+	//lint:ignore floateq pruned weights are exact zeros by construction
+	return w == 0
+}

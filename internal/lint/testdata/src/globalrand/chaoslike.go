@@ -1,0 +1,29 @@
+// Package chaoslike is globalrand analyzer testdata.
+package chaoslike
+
+import "math/rand"
+
+// BadDraw draws from the process-global source.
+func BadDraw() int {
+	return rand.Intn(10)
+}
+
+// BadFloat draws a float from the global source.
+func BadFloat() float64 {
+	return rand.Float64()
+}
+
+// BadShuffle permutes with the global source.
+func BadShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// OKInjected threads an explicit seeded generator.
+func OKInjected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// OKConstruct builds a seeded generator; constructors are allowed.
+func OKConstruct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

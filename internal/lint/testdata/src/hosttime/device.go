@@ -1,0 +1,39 @@
+// Package device is hosttime analyzer testdata, loaded under a
+// simulated-device import path.
+package device
+
+import "time"
+
+// Cycles is the cycle-model clock: the only legitimate notion of time here.
+var Cycles int64
+
+// BadNow samples the host clock.
+func BadNow() time.Time {
+	return time.Now()
+}
+
+// BadLatency measures host wall time for a device operation.
+func BadLatency(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// BadStall blocks on the host clock.
+func BadStall() {
+	time.Sleep(time.Millisecond)
+}
+
+// BadChannel waits on a host-clock channel.
+func BadChannel() <-chan time.Time {
+	return time.After(time.Second)
+}
+
+// OKDuration does pure duration arithmetic; no clock is sampled.
+func OKDuration(cycles int64, hz int64) time.Duration {
+	return time.Duration(cycles) * time.Second / time.Duration(hz)
+}
+
+// OKSuppressed documents a tolerated exception.
+func OKSuppressed() time.Time {
+	//lint:ignore hosttime testdata exercises the suppression path
+	return time.Now()
+}

@@ -1,0 +1,27 @@
+// Package ignore exercises the suppression directive machinery.
+package ignore
+
+import "math/rand"
+
+// Suppressed is silenced by a well-formed directive on the line above.
+func Suppressed() int {
+	//lint:ignore globalrand exercising the preceding-comment form
+	return rand.Intn(3)
+}
+
+// Trailing is silenced by a directive at the end of the line.
+func Trailing() int {
+	return rand.Intn(3) //lint:ignore globalrand exercising the trailing form
+}
+
+// WrongAnalyzer is NOT silenced: the directive names another analyzer.
+func WrongAnalyzer() int {
+	//lint:ignore hosttime names the wrong analyzer, so the finding stands
+	return rand.Intn(3)
+}
+
+// MissingReason carries a malformed directive, itself a diagnostic.
+func MissingReason() int {
+	//lint:ignore globalrand
+	return rand.Intn(3)
+}

@@ -1,0 +1,62 @@
+// Package export is maporder analyzer testdata.
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadKeys leaks iteration order into a slice that is never sorted.
+func BadKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadWrite serializes iteration order straight into a writer.
+func BadWrite(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BadBuilder streams iteration order into a strings.Builder.
+func BadBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// OKSortedKeys collects then sorts before use.
+func OKSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OKReduction computes an order-independent aggregate.
+func OKReduction(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// OKMapToMap builds another map; insertion order cannot leak.
+func OKMapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

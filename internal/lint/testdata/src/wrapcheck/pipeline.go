@@ -1,0 +1,84 @@
+// Package pipeline is wrapcheck analyzer testdata, loaded under an
+// attack-pipeline import path.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/huffduff/huffduff/internal/faults"
+)
+
+// BadTailCall forwards a foreign error as a direct tail call, with no
+// chance to add context.
+func BadTailCall(path string) error {
+	return os.Remove(path)
+}
+
+// OKTailLocal tail-calls a same-package error source.
+func OKTailLocal(n int) error {
+	return localCheck(n)
+}
+
+// BadForward returns a foreign error with no context.
+func BadForward(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// BadReassigned forwards after an intermediate use.
+func BadReassigned(s string) error {
+	_, err := strconv.ParseFloat(s, 64)
+	return err
+}
+
+// OKWrapped adds context with %w.
+func OKWrapped(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("pipeline: parsing %q: %w", s, err)
+	}
+	return n, nil
+}
+
+// OKStaged classifies through the faults constructor.
+func OKStaged(s string) error {
+	_, err := strconv.Atoi(s)
+	if err != nil {
+		err = faults.Stage("parse", err)
+		return err
+	}
+	return nil
+}
+
+// OKNew returns a locally created error.
+func OKNew() error {
+	err := errors.New("pipeline: invalid input")
+	return err
+}
+
+// localCheck is a same-package error source.
+func localCheck(n int) error {
+	if n < 0 {
+		return errors.New("pipeline: negative")
+	}
+	return nil
+}
+
+// OKLocal forwards a same-package error; context is already attributed.
+func OKLocal(n int) error {
+	err := localCheck(n)
+	return err
+}
+
+// OKSuppressed documents a tolerated forward.
+func OKSuppressed(s string) error {
+	_, err := strconv.Atoi(s)
+	//lint:ignore wrapcheck testdata exercises the suppression path
+	return err
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WrapCheck flags errors that cross a package boundary in the attack
+// pipeline without gaining context: a bare `return err` where err's last
+// assignment came from a call into another package, returned without
+// fmt.Errorf("...: %w") wrapping or a faults constructor. The PR-1 error
+// taxonomy (internal/faults) is only classifiable — Retryable, StageOf,
+// errors.Is against the sentinels — if every hop preserves the chain and
+// adds where it happened; a naked forward loses the stage attribution that
+// retry and degradation decisions key on.
+var WrapCheck = &Analyzer{
+	Name: "wrapcheck",
+	Doc: "errors crossing package boundaries in the attack pipeline must wrap " +
+		"with %w or a faults constructor",
+	Paths: []string{
+		"internal/huffduff",
+		"internal/probe",
+		"internal/chaos",
+		"internal/telemetry",
+	},
+	Run: runWrapCheck,
+}
+
+// wrapExemptPkgs are packages whose returned errors need no further
+// wrapping: errors and fmt *create* errors (with the caller's own context),
+// and the faults constructors already attribute stage and class.
+func wrapExempt(pkgPath, fn string) bool {
+	switch pkgPath {
+	case "errors":
+		return true
+	case "fmt":
+		return fn == "Errorf"
+	}
+	return strings.HasSuffix(pkgPath, "internal/faults")
+}
+
+func runWrapCheck(pass *Pass) {
+	eachFuncBody(pass.Pkg.Files, func(body *ast.BlockStmt) {
+		wrapCheckBody(pass, body)
+	})
+}
+
+// wrapCheckBody analyzes one function body. It tracks, in source order, the
+// call each error-typed variable was last assigned from; a return of a bare
+// error variable whose origin is a call into a foreign package is a
+// finding. Assignments from non-call expressions (fields, channel receives,
+// parameters) clear the origin — the analyzer only reports what it can
+// prove.
+func wrapCheckBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	origin := map[types.Object]*ast.CallExpr{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals are separate bodies with their own scopes;
+			// eachFuncBody visits them independently.
+			return n.Body == body
+		case *ast.AssignStmt:
+			trackErrAssign(info, origin, n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				switch res := ast.Unparen(res).(type) {
+				case *ast.Ident:
+					// Bare variable: trace it to its origin call.
+					if !isErrorType(info.TypeOf(res)) {
+						continue
+					}
+					call, ok := origin[info.Uses[res]]
+					if !ok {
+						continue
+					}
+					reportForeignError(pass, res.Pos(), call)
+				case *ast.CallExpr:
+					// Direct tail call: return pkg.Fn(...) forwarding the
+					// foreign error with no chance to add context. Only
+					// single-value error results count — a tuple forward
+					// would need restructuring, which the variable form of
+					// the fix produces anyway.
+					if isErrorType(info.TypeOf(res)) {
+						reportForeignError(pass, res.Pos(), res)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportForeignError reports a finding when the call's callee lives in a
+// foreign, non-exempt package.
+func reportForeignError(pass *Pass, pos token.Pos, call *ast.CallExpr) {
+	callee := calleeObject(pass.Pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg.Types {
+		return
+	}
+	path := callee.Pkg().Path()
+	if wrapExempt(path, callee.Name()) {
+		return
+	}
+	pass.Reportf(pos,
+		"error from %s.%s returned across the package boundary unwrapped; add context with fmt.Errorf(\"...: %%w\", err) or a faults constructor",
+		path, callee.Name())
+}
+
+// trackErrAssign updates the origin map for one assignment statement.
+func trackErrAssign(info *types.Info, origin map[types.Object]*ast.CallExpr, a *ast.AssignStmt) {
+	// Tuple form: a, err := f(...). Every error-typed LHS ident shares the
+	// single call as its origin.
+	if len(a.Rhs) == 1 {
+		call, isCall := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+		for _, lhs := range a.Lhs {
+			setErrOrigin(info, origin, lhs, call, isCall)
+		}
+		return
+	}
+	// Parallel form: x, y = f(), g(). Positions pair up.
+	for i, lhs := range a.Lhs {
+		if i >= len(a.Rhs) {
+			break
+		}
+		call, isCall := ast.Unparen(a.Rhs[i]).(*ast.CallExpr)
+		setErrOrigin(info, origin, lhs, call, isCall)
+	}
+}
+
+// setErrOrigin records (or clears) the origin call of one assigned ident.
+func setErrOrigin(info *types.Info, origin map[types.Object]*ast.CallExpr, lhs ast.Expr, call *ast.CallExpr, isCall bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" || !isErrorType(info.TypeOf(id)) {
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if isCall {
+		origin[obj] = call
+	} else {
+		delete(origin, obj)
+	}
+}

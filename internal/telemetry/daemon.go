@@ -69,7 +69,7 @@ func (s JobSpec) withDefaults() JobSpec {
 // Validate rejects specs the daemon could not run.
 func (s JobSpec) Validate() error {
 	if _, err := models.ByName(s.Model, s.Scale); err != nil {
-		return err
+		return fmt.Errorf("telemetry: spec: %w", err)
 	}
 	if s.Keep < 0 || s.Keep > 1 {
 		return fmt.Errorf("telemetry: keep = %g, want (0, 1]", s.Keep)
@@ -317,12 +317,12 @@ func (d *Daemon) run(c *campaign) {
 func (d *Daemon) attack(c *campaign, spec JobSpec) (*attack.Result, error) {
 	arch, err := models.ByName(spec.Model, spec.Scale)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("telemetry: campaign model: %w", err)
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	bind, err := arch.Build(rng)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("telemetry: building victim %s: %w", spec.Model, err)
 	}
 	if spec.Keep < 1 {
 		prune.GlobalMagnitude(bind.Net.Params(), spec.Keep)

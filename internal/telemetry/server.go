@@ -80,7 +80,10 @@ func (s *Server) Serve(l net.Listener) error {
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
-	return err
+	if err != nil {
+		return fmt.Errorf("telemetry: serve: %w", err)
+	}
+	return nil
 }
 
 // ListenAndServe binds addr and serves until Shutdown.
@@ -90,12 +93,18 @@ func (s *Server) ListenAndServe(addr string) error {
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
-	return err
+	if err != nil {
+		return fmt.Errorf("telemetry: listen on %s: %w", addr, err)
+	}
+	return nil
 }
 
 // Shutdown gracefully stops the HTTP server (in-flight requests finish).
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.http.Shutdown(ctx)
+	if err := s.http.Shutdown(ctx); err != nil {
+		return fmt.Errorf("telemetry: http shutdown: %w", err)
+	}
+	return nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

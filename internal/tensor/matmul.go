@@ -75,6 +75,7 @@ func matMulRange(dst, a, b []float64, lo, hi, k, n int) {
 		}
 		arow := a[i*k : (i+1)*k]
 		for p, av := range arow {
+			//lint:ignore floateq pruning writes exact zeros; skipping them changes no sum, only work
 			if av == 0 {
 				continue
 			}
