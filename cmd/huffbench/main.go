@@ -124,6 +124,7 @@ func scenarios() []scenario {
 		{"attack_smallcnn", attackScenario("smallcnn", 1, 0.5, 8, 8, 1)},
 		{"attack_resnet18", attackScenario("resnet18", 16, 0.6, 6, 16, 1234)},
 		{"encode_micro", encodeMicro},
+		{"daemon_restart", daemonRestart},
 	}
 }
 

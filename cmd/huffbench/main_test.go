@@ -157,6 +157,13 @@ func TestRealScenariosProduceRequiredMetrics(t *testing.T) {
 	if recs[0].Scenarios["encode_micro"]["values_per_second"] <= 0 {
 		t.Errorf("encoder throughput missing: %v", recs[0].Scenarios["encode_micro"])
 	}
+	dm := recs[0].Scenarios["daemon_restart"]
+	if dm["campaigns_resumed"] != 3 || dm["campaigns_completed"] != 3 {
+		t.Errorf("daemon_restart recovery counts: %v", dm)
+	}
+	if dm["journal_appends"] <= 0 || dm["wall_seconds"] <= 0 {
+		t.Errorf("daemon_restart journal metrics missing: %v", dm)
+	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
 	}
@@ -177,5 +184,18 @@ func TestDeterministicOnlyGate(t *testing.T) {
 	next.Scenarios["s"]["victim_queries"] = 150
 	if got := compare(prev, next, true); len(got) != 1 {
 		t.Errorf("deterministic regression missed: %v", got)
+	}
+
+	// The daemon_restart scenario's only gated metric is wall_seconds
+	// (machine-dependent), so a cross-machine -deterministic-only gate
+	// must tolerate it no matter how much its timing drifts.
+	prev = Record{Scenarios: map[string]Metrics{
+		"daemon_restart": {"wall_seconds": 2, "campaigns_resumed": 3, "campaigns_completed": 3, "journal_appends": 20},
+	}}
+	next = Record{Scenarios: map[string]Metrics{
+		"daemon_restart": {"wall_seconds": 10, "campaigns_resumed": 3, "campaigns_completed": 3, "journal_appends": 27},
+	}}
+	if got := compare(prev, next, true); len(got) != 0 {
+		t.Errorf("daemon_restart tripped the deterministic-only gate: %v", got)
 	}
 }

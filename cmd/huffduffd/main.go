@@ -1,20 +1,29 @@
 // Command huffduffd is the live campaign daemon: it accepts attack jobs
-// over HTTP, runs them on a bounded worker pool against freshly deployed
-// simulated victims, and exposes the operator surface of a long-running
-// service — Prometheus metrics, live per-campaign progress with device
-// telemetry, a flight-recorder event dump, and pprof.
+// over HTTP, runs them on a supervised bounded worker pool against freshly
+// deployed simulated victims, and exposes the operator surface of a
+// long-running service — Prometheus metrics, live per-campaign progress
+// with device telemetry, a flight-recorder event dump, and pprof.
+//
+// With -data-dir the daemon is crash-safe: every submission and state
+// transition is journaled (fsync'd JSONL segments) before it is
+// acknowledged, and a restart on the same directory replays the journal,
+// preserves campaign IDs and terminal results, and requeues whatever was
+// queued or running when the process died.
 //
 // Usage:
 //
-//	huffduffd -addr 127.0.0.1:9120 -workers 2
+//	huffduffd -addr 127.0.0.1:9120 -workers 2 -data-dir /var/lib/huffduffd
 //
 // Submit a campaign and watch it:
 //
 //	curl -d '{"model":"smallcnn","trials":8,"q":8}' localhost:9120/campaigns
 //	curl localhost:9120/campaigns/1
 //	curl localhost:9120/metrics
+//	curl localhost:9120/healthz
 //
-// SIGINT/SIGTERM drain the worker pool before exit.
+// SIGINT/SIGTERM drain the worker pool before exit; during the drain
+// /healthz reports "draining" with 503 and new submissions are refused.
+// Anything not finished by -drain stays requeueable in the journal.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -37,10 +47,14 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:9120", "listen address")
 		workers   = flag.Int("workers", 2, "concurrent campaign workers")
-		queue     = flag.Int("queue", 16, "max queued (unstarted) campaigns")
+		queue     = flag.Int("queue", 16, "max queued (unstarted) campaigns; beyond it submissions get 429 + Retry-After")
+		dataDir   = flag.String("data-dir", "", "durable state directory; empty runs ephemeral (no crash resume)")
 		flightN   = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder capacity (events)")
 		eventsOut = flag.String("events-out", "", "append every telemetry event to this JSONL file")
 		drain     = flag.Duration("drain", 10*time.Minute, "max time to wait for running campaigns on shutdown")
+		jobTO     = flag.Duration("job-timeout", 0, "default per-campaign deadline (0 = none; jobs may override via timeout_seconds)")
+		retryMax  = flag.Int("retry-attempts", 3, "max run attempts per campaign (panics, deadlines, and transient faults are retried)")
+		retryBase = flag.Duration("retry-base", time.Second, "backoff before the second attempt; doubles per attempt")
 	)
 	flag.Parse()
 
@@ -55,17 +69,39 @@ func main() {
 		sink = obs.NewJSONLSink(f)
 		sinks = append(sinks, sink)
 	}
+	rec := obs.Fanout(sinks...)
+
+	var journal *telemetry.Journal
+	if *dataDir != "" {
+		j, err := telemetry.OpenJournal(filepath.Join(*dataDir, "journal"), telemetry.JournalConfig{Obs: rec})
+		cli.Check(err)
+		journal = j
+		terminal, requeued := 0, 0
+		for _, rc := range j.Replayed() {
+			if rc.Terminal() {
+				terminal++
+			} else {
+				requeued++
+			}
+		}
+		log.Printf("journal %s: replayed %d finished campaign(s), requeued %d interrupted",
+			filepath.Join(*dataDir, "journal"), terminal, requeued)
+	}
 
 	d := telemetry.NewDaemon(telemetry.DaemonConfig{
 		Workers:    *workers,
 		QueueDepth: *queue,
-		Recorder:   obs.Fanout(sinks...),
+		Recorder:   rec,
+		Journal:    journal,
+		JobTimeout: *jobTO,
+		Retry:      telemetry.RetryPolicy{MaxAttempts: *retryMax, BaseDelay: *retryBase},
 	})
 	srv := telemetry.NewServer(telemetry.ServerOptions{
 		Collector: col,
 		Flight:    flight,
 		Campaigns: d,
 		Submitter: d,
+		Health:    d,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -88,10 +124,15 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := d.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		log.Printf("shutdown: %v (unfinished campaigns stay requeueable in the journal)", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal: %v", err)
+		}
 	}
 	if sink != nil {
 		if err := sink.Err(); err != nil {

@@ -14,6 +14,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -34,7 +35,54 @@ var (
 	ErrTimingUnusable = errors.New("timing channel unusable")
 	// ErrBadConfig marks an invalid configuration; retrying cannot help.
 	ErrBadConfig = errors.New("invalid configuration")
+	// ErrWorkerPanic marks a campaign worker that panicked mid-attack and
+	// was recovered by the daemon's supervisor; the campaign is retryable
+	// under the daemon's per-campaign retry policy.
+	ErrWorkerPanic = errors.New("worker panic")
+	// ErrDeadline marks a campaign that exceeded its per-job deadline (a
+	// stalled device run or a pathologically slow solve); a retry gets a
+	// fresh deadline.
+	ErrDeadline = errors.New("job deadline exceeded")
 )
+
+// Fault classes as short metric-label-safe strings, returned by Class.
+const (
+	ClassTransient = "transient"
+	ClassTrace     = "trace"
+	ClassTiming    = "timing"
+	ClassConfig    = "config"
+	ClassPanic     = "panic"
+	ClassDeadline  = "deadline"
+	ClassCanceled  = "canceled"
+	ClassUnknown   = "unknown"
+)
+
+// Class maps an error to its fault class, for metric labels, journal
+// records, and daemon retry decisions. Context deadline/cancel errors
+// classify the same as the explicit sentinels, so a deadline that surfaced
+// straight from context.Context still reads as ClassDeadline.
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrWorkerPanic):
+		return ClassPanic
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return ClassDeadline
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	case errors.Is(err, ErrBadConfig):
+		return ClassConfig
+	case errors.Is(err, ErrTransient):
+		return ClassTransient
+	case errors.Is(err, ErrTraceCorrupt):
+		return ClassTrace
+	case errors.Is(err, ErrTimingUnusable):
+		return ClassTiming
+	default:
+		return ClassUnknown
+	}
+}
 
 // Retryable reports whether err is worth retrying: a transient device
 // failure or a corrupt trace that a fresh inference may replace.

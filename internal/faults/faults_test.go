@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -29,6 +30,33 @@ func TestRetryable(t *testing.T) {
 	} {
 		if got := Retryable(tc.err); got != tc.want {
 			t.Fatalf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestClass(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{fmt.Errorf("x: %w", ErrTransient), ClassTransient},
+		{fmt.Errorf("x: %w", ErrTraceCorrupt), ClassTrace},
+		{fmt.Errorf("x: %w", ErrTimingUnusable), ClassTiming},
+		{fmt.Errorf("x: %w", ErrBadConfig), ClassConfig},
+		{fmt.Errorf("x: %w", ErrWorkerPanic), ClassPanic},
+		{fmt.Errorf("x: %w", ErrDeadline), ClassDeadline},
+		// Context errors classify without the explicit sentinels, so a
+		// deadline surfacing straight from context.Context still reads as
+		// a deadline fault.
+		{fmt.Errorf("x: %w", context.DeadlineExceeded), ClassDeadline},
+		{fmt.Errorf("x: %w", context.Canceled), ClassCanceled},
+		{errors.New("plain"), ClassUnknown},
+		// Classification survives stage attribution.
+		{Stage("probe", fmt.Errorf("x: %w", ErrWorkerPanic)), ClassPanic},
+	} {
+		if got := Class(tc.err); got != tc.want {
+			t.Errorf("Class(%v) = %q, want %q", tc.err, got, tc.want)
 		}
 	}
 }

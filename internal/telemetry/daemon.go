@@ -1,9 +1,11 @@
 // Package telemetry turns the post-hoc observability of internal/obs into a
-// live service: a campaign daemon that runs attack jobs on a bounded worker
-// pool, and an HTTP server exposing Prometheus metrics, live campaign
-// progress (including per-layer accelerator telemetry), a JSONL event
-// stream, and pprof — what an operator watches while campaigns run, instead
-// of what a post-mortem reads after they end.
+// live service: a campaign daemon that runs attack jobs on a supervised,
+// bounded worker pool — with a durable write-ahead journal, crash-resume,
+// per-campaign retries, and real backpressure — and an HTTP server exposing
+// Prometheus metrics, live campaign progress (including per-layer
+// accelerator telemetry), a JSONL event stream, and pprof — what an
+// operator watches while campaigns run, instead of what a post-mortem
+// reads after they end.
 package telemetry
 
 import (
@@ -16,10 +18,13 @@ import (
 
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/chaos"
+	"github.com/huffduff/huffduff/internal/faults"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prune"
+	"github.com/huffduff/huffduff/internal/tensor"
+	"github.com/huffduff/huffduff/internal/trace"
 )
 
 // JobSpec is one campaign job as submitted over HTTP POST. Zero fields take
@@ -41,6 +46,9 @@ type JobSpec struct {
 	// Chaos wraps the victim in the fault-injection layer with ChaosSeed.
 	Chaos     bool  `json:"chaos,omitempty"`
 	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+	// TimeoutSeconds is the per-job deadline, propagated to the attack via
+	// context; 0 uses the daemon's default (DaemonConfig.JobTimeout).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
 // withDefaults fills zero fields with the daemon defaults.
@@ -77,15 +85,19 @@ func (s JobSpec) Validate() error {
 	if s.Trials < 1 || s.Q < 2 {
 		return fmt.Errorf("telemetry: trials = %d, q = %d, want trials >= 1 and q >= 2", s.Trials, s.Q)
 	}
+	if s.TimeoutSeconds < 0 {
+		return fmt.Errorf("telemetry: timeout_seconds = %g is negative", s.TimeoutSeconds)
+	}
 	return nil
 }
 
 // Campaign states.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateRetrying = "retrying"
+	StateDone     = "done"
+	StateFailed   = "failed"
 )
 
 // CampaignSnapshot is the JSON view of one campaign that /campaigns serves:
@@ -99,19 +111,27 @@ type CampaignSnapshot struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
+	// Attempts counts run attempts so far (1 on the first run); Resumed
+	// marks a campaign reconstructed from the journal after a restart.
+	Attempts int  `json:"attempts,omitempty"`
+	Resumed  bool `json:"resumed,omitempty"`
 	// Stage is the pipeline stage most recently entered; ProbeDone/Total
 	// track per-position probe progress within the probing stage.
 	Stage      string `json:"stage,omitempty"`
 	ProbeDone  int    `json:"probe_done,omitempty"`
 	ProbeTotal int    `json:"probe_total,omitempty"`
 	Error      string `json:"error,omitempty"`
+	// ErrorClass is the faults classification of Error (transient, panic,
+	// deadline, config, ...), for failed and retrying campaigns.
+	ErrorClass string `json:"error_class,omitempty"`
 	// Outcome of a finished campaign.
 	VictimQueries int  `json:"victim_queries,omitempty"`
 	VictimRetries int  `json:"victim_retries,omitempty"`
 	SolutionCount int  `json:"solution_count,omitempty"`
 	Degraded      bool `json:"degraded,omitempty"`
 	// Device is the victim-side telemetry (simulated device time, per-layer
-	// DRAM/MAC/encode breakdown), snapshotted live from the machine.
+	// DRAM/MAC/encode breakdown), snapshotted live from the machine. It is
+	// not persisted across restarts (the machine dies with the process).
 	Device *accel.CampaignStats `json:"device,omitempty"`
 }
 
@@ -120,6 +140,10 @@ type campaign struct {
 	mu      sync.Mutex
 	snap    CampaignSnapshot
 	machine *accel.Machine // set once running; its stats are lock-protected
+	// queuedSlot marks a campaign occupying an externally-submitted queue
+	// slot (backpressure accounting); requeues and retries do not count
+	// against QueueDepth. Guarded by Daemon.mu.
+	queuedSlot bool
 }
 
 // update mutates the record under its lock.
@@ -143,31 +167,95 @@ func (c *campaign) snapshot() CampaignSnapshot {
 	return out
 }
 
+// RetryPolicy is the daemon's per-campaign retry policy: exponential
+// backoff with jitter, capped attempts. Config errors and daemon-initiated
+// cancellations are never retried.
+type RetryPolicy struct {
+	// MaxAttempts caps total run attempts per campaign, including the
+	// first (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before attempt 2; it doubles per attempt up
+	// to MaxDelay (defaults 1s and 30s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter spreads each delay uniformly in ±Jitter fraction (default
+	// 0.2), so a burst of same-class failures does not retry in lockstep.
+	Jitter float64
+	// Seed drives the jitter randomness (default 1), keeping retry
+	// schedules reproducible.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the default policy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Second
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 30 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
 // DaemonConfig sizes the campaign daemon.
 type DaemonConfig struct {
 	// Workers is the worker-pool size (default 2).
 	Workers int
 	// QueueDepth bounds the submitted-but-unstarted backlog (default 16);
-	// submissions beyond it are rejected rather than buffered without
-	// bound.
+	// submissions beyond it are rejected (HTTP 429 with Retry-After)
+	// rather than buffered without bound. Journal requeues and retries are
+	// internal and exempt.
 	QueueDepth int
 	// Recorder receives every campaign's spans and metrics — typically an
 	// obs.Fanout of the serving Collector, a FlightRecorder, and an
 	// optional JSONL file sink. Nil runs campaigns uninstrumented.
 	Recorder obs.Recorder
+	// Journal, when set, makes the daemon crash-safe: submissions and
+	// state transitions are journaled durably, and campaigns replayed from
+	// the journal at construction are requeued. Nil keeps the daemon
+	// ephemeral.
+	Journal *Journal
+	// Retry is the per-campaign retry policy.
+	Retry RetryPolicy
+	// JobTimeout is the default per-job deadline propagated to the attack
+	// via context; 0 means no deadline. JobSpec.TimeoutSeconds overrides
+	// it per job.
+	JobTimeout time.Duration
+	// Faults, when set, injects daemon-level failures (worker panics,
+	// stalled runs, journal write errors) for chaos testing.
+	Faults *chaos.DaemonFaults
+	// RetryAfter is the backoff hint returned with queue-full rejections
+	// (default 5s).
+	RetryAfter time.Duration
 }
 
-// Daemon runs campaign jobs on a bounded worker pool and retains every
-// campaign record for /campaigns. It implements the server's CampaignSource
-// and Submitter.
+// Daemon runs campaign jobs on a supervised bounded worker pool and retains
+// every campaign record for /campaigns. It implements the server's
+// CampaignSource, Submitter, and HealthSource.
 type Daemon struct {
-	cfg  DaemonConfig
-	jobs chan *campaign
-	wg   sync.WaitGroup
+	cfg    DaemonConfig
+	jobs   chan *campaign
+	wg     sync.WaitGroup
+	ctx    context.Context // canceled by Kill and by Shutdown deadline expiry
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
-	closed    bool
-	campaigns []*campaign
+	closed    bool // draining: no new submissions
+	killed    bool // crash simulation: no state updates, no journal writes
+	queued    int  // externally-submitted jobs awaiting a worker
+	nextID    int
+	byID      map[int]*campaign
+	campaigns []*campaign // ascending ID
+	retryRng  *rand.Rand
 }
 
 // ErrQueueFull rejects submissions beyond the configured backlog.
@@ -176,7 +264,10 @@ var ErrQueueFull = errors.New("telemetry: job queue full")
 // ErrShuttingDown rejects submissions after Shutdown began.
 var ErrShuttingDown = errors.New("telemetry: daemon shutting down")
 
-// NewDaemon starts the worker pool and returns the running daemon.
+// NewDaemon starts the worker pool and returns the running daemon. With a
+// journal configured, campaigns replayed from it are restored first:
+// terminal ones keep their IDs and results, and the rest are requeued
+// (ahead of any new submission) with a journaled requeue marker.
 func NewDaemon(cfg DaemonConfig) *Daemon {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -184,12 +275,36 @@ func NewDaemon(cfg DaemonConfig) *Daemon {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
-	d := &Daemon{cfg: cfg, jobs: make(chan *campaign, cfg.QueueDepth)}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Second
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		nextID:   1,
+		byID:     map[int]*campaign{},
+		retryRng: rand.New(rand.NewSource(cfg.Retry.Seed)),
+	}
+	var requeue []*campaign
+	if cfg.Journal != nil {
+		requeue = d.restore(cfg.Journal.Replayed())
+	}
+	// Extra capacity beyond QueueDepth absorbs journal requeues and retry
+	// re-enqueues, which bypass submission backpressure; retries that
+	// still find the channel full simply reschedule their timer.
+	d.jobs = make(chan *campaign, cfg.QueueDepth+len(requeue)+cfg.Workers+16)
+	for _, c := range requeue {
+		d.jobs <- c
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
 			for c := range d.jobs {
+				d.dequeued(c)
 				d.run(c)
 			}
 		}()
@@ -197,8 +312,52 @@ func NewDaemon(cfg DaemonConfig) *Daemon {
 	return d
 }
 
-// Submit validates and enqueues a job, returning its queued snapshot. The
-// job runs as soon as a worker frees up.
+// restore rebuilds the campaign table from journal replay and returns the
+// non-terminal campaigns to requeue, journaling the requeue transition.
+func (d *Daemon) restore(replayed []ReplayedCampaign) []*campaign {
+	var requeue []*campaign
+	for _, rc := range replayed {
+		c := &campaign{snap: CampaignSnapshot{
+			ID:        rc.ID,
+			Spec:      rc.Spec,
+			State:     rc.State,
+			Submitted: rc.Submitted,
+			Started:   rc.Started,
+			Finished:  rc.Finished,
+			Attempts:  rc.Attempts,
+			Resumed:   true,
+		}}
+		if rc.Terminal() {
+			if rc.State == StateFailed {
+				c.snap.Error, c.snap.ErrorClass = rc.Error, rc.Class
+			} else {
+				c.snap.SolutionCount = rc.Solutions
+				c.snap.VictimQueries = rc.Queries
+				c.snap.VictimRetries = rc.Retries
+				c.snap.Degraded = rc.Degraded
+			}
+		} else {
+			c.snap.State = StateQueued
+			c.snap.Started = nil
+			requeue = append(requeue, c)
+			d.journalState(c.snap.ID, StateChange{State: StateQueued, Attempt: rc.Attempts})
+		}
+		d.byID[rc.ID] = c
+		d.campaigns = append(d.campaigns, c)
+		if rc.ID >= d.nextID {
+			d.nextID = rc.ID + 1
+		}
+	}
+	if len(requeue) > 0 {
+		d.count("daemon.requeues", "", float64(len(requeue)))
+	}
+	return requeue
+}
+
+// Submit validates, journals, and enqueues a job, returning its queued
+// snapshot. The job runs as soon as a worker frees up. Beyond QueueDepth
+// unstarted jobs, Submit rejects with ErrQueueFull — the backpressure the
+// HTTP layer translates to 429 + Retry-After.
 func (d *Daemon) Submit(spec JobSpec) (CampaignSnapshot, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -209,20 +368,57 @@ func (d *Daemon) Submit(spec JobSpec) (CampaignSnapshot, error) {
 	if d.closed {
 		return CampaignSnapshot{}, ErrShuttingDown
 	}
-	c := &campaign{snap: CampaignSnapshot{
-		ID:        len(d.campaigns) + 1,
-		Spec:      spec,
-		State:     StateQueued,
-		Submitted: time.Now(),
-	}}
+	if d.queued >= d.cfg.QueueDepth {
+		d.count("daemon.queue_rejections", "", 1)
+		return CampaignSnapshot{}, ErrQueueFull
+	}
+	now := time.Now()
+	c := &campaign{
+		snap: CampaignSnapshot{
+			ID:        d.nextID,
+			Spec:      spec,
+			State:     StateQueued,
+			Submitted: now,
+		},
+		queuedSlot: true,
+	}
 	select {
 	case d.jobs <- c:
 	default:
+		// The channel has slack beyond QueueDepth, so this is unreachable
+		// in practice; guard anyway rather than block under d.mu.
+		d.count("daemon.queue_rejections", "", 1)
 		return CampaignSnapshot{}, ErrQueueFull
 	}
+	// Journal before acknowledging: once the caller sees 202 the job
+	// survives a crash. A failing journal degrades durability, not
+	// availability — the append error is counted and /healthz reports
+	// degraded, but the job still runs.
+	if d.cfg.Journal != nil {
+		_ = d.cfg.Journal.AppendSubmit(c.snap.ID, now, spec)
+	}
+	d.nextID++
+	d.queued++
+	d.byID[c.snap.ID] = c
 	d.campaigns = append(d.campaigns, c)
 	d.count("daemon.jobs_submitted", "", 1)
+	d.gauge("daemon.queue_depth", float64(d.queued))
 	return c.snapshot(), nil
+}
+
+// RetryAfterHint is the backoff the HTTP layer advertises on queue-full
+// and draining rejections.
+func (d *Daemon) RetryAfterHint() time.Duration { return d.cfg.RetryAfter }
+
+// dequeued releases c's backpressure slot as a worker picks it up.
+func (d *Daemon) dequeued(c *campaign) {
+	d.mu.Lock()
+	if c.queuedSlot {
+		c.queuedSlot = false
+		d.queued--
+		d.gauge("daemon.queue_depth", float64(d.queued))
+	}
+	d.mu.Unlock()
 }
 
 // Campaigns returns a snapshot of every campaign, oldest first.
@@ -240,17 +436,62 @@ func (d *Daemon) Campaigns() []CampaignSnapshot {
 // CampaignByID returns one campaign's snapshot.
 func (d *Daemon) CampaignByID(id int) (CampaignSnapshot, bool) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if id < 1 || id > len(d.campaigns) {
+	c, ok := d.byID[id]
+	d.mu.Unlock()
+	if !ok {
 		return CampaignSnapshot{}, false
 	}
-	return d.campaigns[id-1].snapshot(), true
+	return c.snapshot(), true
 }
 
-// Shutdown stops accepting jobs, lets the workers drain the queue and
-// finish running campaigns, and returns once the pool is idle or ctx
-// expires (in which case campaigns still running are abandoned to the
-// process exit).
+// Health is the liveness/readiness view /healthz serves.
+type Health struct {
+	// Status is "ok", "degraded" (journal failing — still serving, with
+	// durability at risk), or "draining" (Shutdown has begun; served with
+	// 503 so load-balancers stop routing here).
+	Status string `json:"status"`
+	// Queued is the unstarted external backlog against QueueDepth.
+	Queued     int `json:"queued"`
+	QueueDepth int `json:"queue_depth"`
+	Workers    int `json:"workers"`
+	Campaigns  int `json:"campaigns"`
+	// Journal state, present when a journal is configured.
+	JournalErrors uint64 `json:"journal_errors,omitempty"`
+	JournalBytes  uint64 `json:"journal_bytes,omitempty"`
+}
+
+// Health reports the daemon's current health classification.
+func (d *Daemon) Health() Health {
+	d.mu.Lock()
+	h := Health{
+		Status:     "ok",
+		Queued:     d.queued,
+		QueueDepth: d.cfg.QueueDepth,
+		Workers:    d.cfg.Workers,
+		Campaigns:  len(d.campaigns),
+	}
+	closed := d.closed
+	d.mu.Unlock()
+	if j := d.cfg.Journal; j != nil {
+		st := j.Stats()
+		h.JournalErrors = st.Errors
+		h.JournalBytes = st.Bytes
+		if j.Failing() {
+			h.Status = "degraded"
+		}
+	}
+	if closed {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// Shutdown stops accepting jobs and lets the workers drain the queue and
+// finish running campaigns — in-flight work is journaled at every
+// transition, so anything still unfinished when ctx expires is requeueable
+// on the next start rather than lost. On ctx expiry the per-job contexts
+// are canceled so workers abandon their campaigns promptly (the campaigns
+// stay non-terminal in the journal), and Shutdown returns ctx's error.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.mu.Lock()
 	if !d.closed {
@@ -267,8 +508,52 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("telemetry: shutdown: %w", ctx.Err())
 	}
+	// Drain deadline expired: abort running campaigns. Their run() sees a
+	// canceled context during drain and parks them back to queued without
+	// a terminal journal record, so a restart resumes them.
+	d.cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		// A worker stuck in non-preemptible compute is abandoned to the
+		// process exit, exactly as before.
+	}
+	return fmt.Errorf("telemetry: shutdown: %w", ctx.Err())
+}
+
+// Kill simulates a crash, for restart testing: the journal stops
+// persisting immediately (as if the process died mid-write), worker
+// contexts are canceled, and workers are torn down without journaling any
+// further transitions. The daemon is unusable afterwards; start a new one
+// on the same journal directory to resume.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	d.killed = true
+	if !d.closed {
+		d.closed = true
+		close(d.jobs)
+	}
+	d.mu.Unlock()
+	if d.cfg.Journal != nil {
+		d.cfg.Journal.Disable()
+	}
+	d.cancel()
+	d.wg.Wait()
+}
+
+// isKilled reports whether Kill has begun.
+func (d *Daemon) isKilled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.killed
+}
+
+// isDraining reports whether Shutdown has begun.
+func (d *Daemon) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
 }
 
 // count publishes a daemon-level counter when a recorder is configured.
@@ -278,43 +563,200 @@ func (d *Daemon) count(name, label string, v float64) {
 	}
 }
 
-// run executes one campaign end to end, publishing progress into the record
-// and spans/metrics into the shared recorder.
+// gauge publishes a daemon-level gauge when a recorder is configured.
+func (d *Daemon) gauge(name string, v float64) {
+	if d.cfg.Recorder != nil {
+		d.cfg.Recorder.Gauge(name, "", v)
+	}
+}
+
+// journalState appends a state transition when a journal is configured.
+// Append failures are counted by the journal itself and surface through
+// /healthz as degraded; the daemon keeps running.
+func (d *Daemon) journalState(id int, ch StateChange) {
+	if d.cfg.Journal == nil || id == 0 {
+		return
+	}
+	_ = d.cfg.Journal.AppendState(id, time.Now(), ch)
+}
+
+// run executes one attempt of a campaign end to end, publishing progress
+// into the record, transitions into the journal, and spans/metrics into
+// the shared recorder; on a retryable failure it schedules the next
+// attempt with exponential backoff.
 func (d *Daemon) run(c *campaign) {
+	if d.isKilled() {
+		return
+	}
 	started := time.Now()
+	var attempt int
 	c.update(func(s *CampaignSnapshot) {
+		s.Attempts++
+		attempt = s.Attempts
 		s.State = StateRunning
 		s.Started = &started
+		s.Error, s.ErrorClass = "", ""
 	})
 	spec := c.snapshot().Spec
+	d.journalState(c.snapshot().ID, StateChange{State: StateRunning, Attempt: attempt})
 	d.count("daemon.jobs_started", "model="+spec.Model, 1)
 
-	res, err := d.attack(c, spec)
+	res, err := d.execute(c, spec)
+	if d.isKilled() {
+		// Crash simulation: the process is "dead"; nothing more happened.
+		return
+	}
+	if err != nil && d.isDraining() && errors.Is(err, context.Canceled) {
+		// Aborted by the shutdown drain deadline, not failed: park the
+		// campaign back to queued. The journal's last record for it is
+		// non-terminal, so the next start requeues it.
+		c.update(func(s *CampaignSnapshot) { s.State = StateQueued })
+		return
+	}
 	finished := time.Now()
+	if err == nil {
+		d.finishDone(c, res, started, finished, spec)
+		return
+	}
+	class := faults.Class(err)
+	if d.retryable(class) && attempt < d.cfg.Retry.MaxAttempts {
+		d.scheduleRetry(c, attempt, err, class)
+		return
+	}
+	d.finishFailed(c, err, class, started, finished, spec)
+}
+
+// retryable reports whether a failure class is worth another attempt:
+// everything but configuration errors (retrying cannot help) and
+// cancellations (the daemon itself initiated them).
+func (d *Daemon) retryable(class string) bool {
+	return class != faults.ClassConfig && class != faults.ClassCanceled
+}
+
+// finishDone records a successful campaign.
+func (d *Daemon) finishDone(c *campaign, res *attack.Result, started, finished time.Time, spec JobSpec) {
 	c.update(func(s *CampaignSnapshot) {
 		s.Finished = &finished
-		if err != nil {
-			s.State = StateFailed
-			s.Error = err.Error()
-		} else {
-			s.State = StateDone
-			s.SolutionCount = res.Space.Count()
-			s.Degraded = res.Degraded
-			s.VictimRetries = res.VictimRetries
-		}
+		s.State = StateDone
+		s.SolutionCount = res.Space.Count()
+		s.Degraded = res.Degraded
+		s.VictimRetries = res.VictimRetries
 	})
-	outcome := "done"
-	if err != nil {
-		outcome = "failed"
-	}
-	d.count("daemon.campaigns", "state="+outcome, 1)
+	snap := c.snapshot()
+	d.journalState(snap.ID, StateChange{
+		State:     StateDone,
+		Attempt:   snap.Attempts,
+		Solutions: snap.SolutionCount,
+		Queries:   snap.VictimQueries,
+		Retries:   snap.VictimRetries,
+		Degraded:  snap.Degraded,
+	})
+	d.count("daemon.campaigns", "state=done", 1)
 	if d.cfg.Recorder != nil {
 		d.cfg.Recorder.Observe("daemon.campaign.seconds", "model="+spec.Model, finished.Sub(started).Seconds())
 	}
 }
 
-// attack deploys the victim and runs the pipeline for one campaign.
-func (d *Daemon) attack(c *campaign, spec JobSpec) (*attack.Result, error) {
+// finishFailed records a permanently failed campaign.
+func (d *Daemon) finishFailed(c *campaign, err error, class string, started, finished time.Time, spec JobSpec) {
+	c.update(func(s *CampaignSnapshot) {
+		s.Finished = &finished
+		s.State = StateFailed
+		s.Error = err.Error()
+		s.ErrorClass = class
+	})
+	snap := c.snapshot()
+	d.journalState(snap.ID, StateChange{
+		State: StateFailed, Attempt: snap.Attempts, Error: snap.Error, Class: class,
+	})
+	d.count("daemon.campaigns", "state=failed", 1)
+	d.count("daemon.failures", "class="+class, 1)
+	if d.cfg.Recorder != nil {
+		d.cfg.Recorder.Observe("daemon.campaign.seconds", "model="+spec.Model, finished.Sub(started).Seconds())
+	}
+}
+
+// scheduleRetry journals the retrying state and re-enqueues the campaign
+// after an exponential-backoff delay with jitter.
+func (d *Daemon) scheduleRetry(c *campaign, attempt int, err error, class string) {
+	c.update(func(s *CampaignSnapshot) {
+		s.State = StateRetrying
+		s.Error = err.Error()
+		s.ErrorClass = class
+	})
+	d.journalState(c.snapshot().ID, StateChange{
+		State: StateRetrying, Attempt: attempt, Error: err.Error(), Class: class,
+	})
+	d.count("daemon.retries", "class="+class, 1)
+	time.AfterFunc(d.backoff(attempt), func() { d.requeue(c) })
+}
+
+// backoff computes the delay before the attempt following `attempt`:
+// BaseDelay doubled per completed attempt, capped at MaxDelay, spread by
+// ±Jitter from the daemon's seeded rng.
+func (d *Daemon) backoff(attempt int) time.Duration {
+	p := d.cfg.Retry
+	delay := p.BaseDelay
+	for i := 1; i < attempt && delay < p.MaxDelay; i++ {
+		delay *= 2
+	}
+	if delay > p.MaxDelay {
+		delay = p.MaxDelay
+	}
+	d.mu.Lock()
+	jitter := 1 + p.Jitter*(2*d.retryRng.Float64()-1)
+	d.mu.Unlock()
+	if jitter < 0 {
+		jitter = 0
+	}
+	return time.Duration(float64(delay) * jitter)
+}
+
+// requeue re-enqueues a retrying campaign. After shutdown began the
+// campaign stays journaled as retrying — requeueable on the next start. A
+// full channel (transient, retries bypass backpressure accounting but not
+// channel capacity) reschedules the attempt.
+func (d *Daemon) requeue(c *campaign) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	select {
+	case d.jobs <- c:
+		d.mu.Unlock()
+	default:
+		d.mu.Unlock()
+		time.AfterFunc(d.cfg.Retry.BaseDelay, func() { d.requeue(c) })
+	}
+}
+
+// execute runs one attempt under supervision: a per-job deadline flows
+// through context into every victim run, chaos daemon faults are injected
+// when configured, and a panicking worker is recovered into a typed
+// faults.ErrWorkerPanic instead of crashing the daemon.
+func (d *Daemon) execute(c *campaign, spec JobSpec) (res *attack.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.count("daemon.worker_panics", "", 1)
+			err = fmt.Errorf("telemetry: recovered worker panic: %v: %w", r, faults.ErrWorkerPanic)
+		}
+	}()
+	ctx := d.ctx
+	timeout := d.cfg.JobTimeout
+	if spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(spec.TimeoutSeconds * float64(time.Second))
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return d.attack(ctx, c, spec)
+}
+
+// attack deploys the victim and runs the pipeline for one campaign attempt.
+func (d *Daemon) attack(ctx context.Context, c *campaign, spec JobSpec) (*attack.Result, error) {
 	arch, err := models.ByName(spec.Model, spec.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: campaign model: %w", err)
@@ -343,6 +785,7 @@ func (d *Daemon) attack(c *campaign, spec JobSpec) (*attack.Result, error) {
 		ccfg.Obs = d.cfg.Recorder
 		victim = chaos.Wrap(victim, ccfg)
 	}
+	victim = &supervisedVictim{ctx: ctx, inner: victim, faults: d.cfg.Faults}
 
 	cfg := attack.DefaultConfig()
 	if spec.Robust {
@@ -360,5 +803,43 @@ func (d *Daemon) attack(c *campaign, spec JobSpec) (*attack.Result, error) {
 			}
 		})
 	}
-	return attack.Attack(victim, cfg)
+	return attack.AttackContext(ctx, victim, cfg)
+}
+
+// supervisedVictim gates every victim run on the job context — so a
+// deadline or a daemon teardown stops a campaign at the next inference —
+// and injects daemon-level chaos faults (panics, stalls) when configured.
+type supervisedVictim struct {
+	ctx    context.Context
+	inner  attack.Victim
+	faults *chaos.DaemonFaults
+}
+
+// Run checks the job deadline, applies injected faults, and forwards to
+// the wrapped victim.
+func (v *supervisedVictim) Run(img *tensor.Tensor) (*trace.Trace, error) {
+	if err := v.ctx.Err(); err != nil {
+		return nil, classifyCtx(err)
+	}
+	if v.faults != nil {
+		if err := v.faults.BeforeRun(v.ctx); err != nil {
+			return nil, fmt.Errorf("telemetry: injected daemon fault: %w", err)
+		}
+	}
+	tr, err := v.inner.Run(img)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: victim run: %w", err)
+	}
+	return tr, nil
+}
+
+// classifyCtx converts a context error into the faults taxonomy: deadline
+// expiry becomes the typed ErrDeadline (retryable with a fresh deadline),
+// cancellation stays context.Canceled (the daemon initiated it; never
+// retried).
+func classifyCtx(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("telemetry: job deadline exceeded: %w", faults.ErrDeadline)
+	}
+	return fmt.Errorf("telemetry: job canceled: %w", err)
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/huffduff/huffduff/internal/chaos"
 	"github.com/huffduff/huffduff/internal/obs"
 )
 
@@ -41,6 +42,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		Flight:    flight,
 		Campaigns: d,
 		Submitter: d,
+		Health:    d,
 	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -180,17 +182,14 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("/debug/pprof/cmdline: %s", resp.Status)
 	}
 
-	// /healthz for completeness.
-	resp, err = http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/healthz: %s", resp.Status)
+	// /healthz serves the structured health view while healthy.
+	if h, code := getHealth(t, base); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("/healthz = %d %+v, want 200 ok", code, h)
 	}
 
-	// Graceful shutdown: workers drain, late submissions are refused.
+	// Graceful shutdown: workers drain, late submissions are refused, and
+	// /healthz flips to draining with 503 so load-balancers stop routing
+	// to the dying node.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := d.Shutdown(ctx); err != nil {
@@ -198,6 +197,9 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if _, err := d.Submit(tinySpec()); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("Submit after shutdown = %v, want ErrShuttingDown", err)
+	}
+	if h, code := getHealth(t, base); code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("/healthz during drain = %d %+v, want 503 draining", code, h)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("server shutdown: %v", err)
@@ -223,28 +225,60 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestQueueFull(t *testing.T) {
-	// Zero workers would hang Shutdown, so use one worker and saturate the
-	// queue while it is busy with the first slow-ish job.
-	d := NewDaemon(DaemonConfig{Workers: 1, QueueDepth: 1})
-	if _, err := d.Submit(tinySpec()); err != nil {
+	// One worker, wedged forever on its first job by a chaos stall, and a
+	// queue of depth 1: the third submission must be rejected. Over HTTP
+	// the rejection is 429 with both a Retry-After header and a structured
+	// JSON body, so clients can back off programmatically.
+	stall := chaos.NewDaemonFaults(chaos.DaemonFaultsConfig{StallProb: 1})
+	d := NewDaemon(DaemonConfig{Workers: 1, QueueDepth: 1, Faults: stall, RetryAfter: 7 * time.Second})
+	defer d.Kill()
+	srv := NewServer(ServerOptions{Campaigns: d, Submitter: d, Health: d, DisablePprof: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		t.Fatal(err)
 	}
-	// The worker may or may not have dequeued the first job yet; keep
-	// stuffing until the queue rejects, bounded to prove it happens.
-	sawFull := false
-	for i := 0; i < 3; i++ {
-		if _, err := d.Submit(tinySpec()); errors.Is(err, ErrQueueFull) {
-			sawFull = true
+	go srv.Serve(l)
+	defer srv.Shutdown(context.Background())
+	base := "http://" + l.Addr().String()
+
+	body, _ := json.Marshal(tinySpec())
+	var resp *http.Response
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err = http.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
 			break
 		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST /campaigns = %s, want 202 or 429", resp.Status)
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("queue of depth 1 never returned 429")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	if !sawFull {
-		t.Error("queue of depth 1 never reported ErrQueueFull")
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After header = %q, want %q", got, "7")
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
-	defer cancel()
-	if err := d.Shutdown(ctx); err != nil {
-		t.Fatal(err)
+	var apiErr APIError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("429 body is not structured JSON: %v", err)
+	}
+	if !strings.Contains(apiErr.Error, "queue full") {
+		t.Errorf("429 body error = %q, want a queue-full message", apiErr.Error)
+	}
+	if apiErr.RetryAfterSeconds != 7 {
+		t.Errorf("429 body retry_after_seconds = %d, want 7", apiErr.RetryAfterSeconds)
+	}
+
+	// The daemon-level sentinel backs the HTTP translation.
+	if _, err := d.Submit(tinySpec()); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("Submit on full queue = %v, want ErrQueueFull", err)
 	}
 }
 
@@ -359,6 +393,21 @@ func getCampaigns(t *testing.T, base string) []CampaignSnapshot {
 		t.Fatal(err)
 	}
 	return out
+}
+
+// getHealth fetches /healthz and returns the parsed body plus status code.
+func getHealth(t *testing.T, base string) (Health, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("/healthz body: %v", err)
+	}
+	return h, resp.StatusCode
 }
 
 func getCampaign(t *testing.T, base string, id int) CampaignSnapshot {

@@ -1,0 +1,383 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/huffduff/huffduff/internal/obs"
+)
+
+// The journal is the daemon's write-ahead log: every JobSpec is recorded at
+// submit time and every state transition (queued, running, retrying, done,
+// failed) is appended — and fsync'd — before the daemon acts on it. A
+// restarted daemon replays the journal to rebuild its campaign table:
+// terminal campaigns keep their IDs and results, and campaigns that were
+// queued, running, or waiting on a retry at crash time are requeued. The
+// format is JSONL segments under one directory, rotated by size; a new
+// segment is started on every open so a torn tail from a crash is never
+// appended after. See DESIGN.md "Durable job journal".
+
+// Journal record kinds.
+const (
+	journalKindSubmit = "submit"
+	journalKindState  = "state"
+)
+
+// journalRecord is one JSONL line. Submit records carry the spec; state
+// records carry the transition plus — for terminal states — the campaign's
+// outcome.
+type journalRecord struct {
+	Kind string    `json:"kind"`
+	ID   int       `json:"id"`
+	TS   time.Time `json:"ts"`
+	// Submit payload.
+	Spec *JobSpec `json:"spec,omitempty"`
+	// State payload.
+	State   string `json:"state,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Class   string `json:"class,omitempty"`
+	// Terminal outcome (state = done).
+	Solutions int  `json:"solutions,omitempty"`
+	Queries   int  `json:"queries,omitempty"`
+	Retries   int  `json:"retries,omitempty"`
+	Degraded  bool `json:"degraded,omitempty"`
+}
+
+// JournalConfig tunes the write-ahead journal.
+type JournalConfig struct {
+	// SegmentBytes rotates to a fresh segment file once the current one
+	// exceeds this size (default 4 MiB).
+	SegmentBytes int64
+	// NoSync skips the per-append fsync. Only tests should set it: without
+	// the fsync a crash can lose acknowledged submissions.
+	NoSync bool
+	// Fault, when set, is consulted before every append; a non-nil return
+	// is treated as a write failure. It is the chaos hook for journal
+	// fault injection (chaos.DaemonFaults.JournalFault).
+	Fault func() error
+	// Obs receives journal counters: journal.appends, journal.bytes,
+	// journal.fsyncs, journal.errors, journal.replay_skipped.
+	Obs obs.Recorder
+}
+
+// JournalStats counts journal activity since open.
+type JournalStats struct {
+	Appends, Bytes, Fsyncs, Errors, ReplaySkipped uint64
+	Segments                                      int
+}
+
+// ReplayedCampaign is one campaign reconstructed from the journal.
+type ReplayedCampaign struct {
+	ID        int
+	Spec      JobSpec
+	Submitted time.Time
+	Started   *time.Time
+	Finished  *time.Time
+	// State is the last journaled state; non-terminal states mean the
+	// campaign must be requeued.
+	State    string
+	Attempts int
+	Error    string
+	Class    string
+	// Terminal outcome, valid when State is done.
+	Solutions, Queries, Retries int
+	Degraded                    bool
+}
+
+// Terminal reports whether the campaign finished before the crash; a
+// non-terminal replayed campaign is requeued on restart.
+func (rc ReplayedCampaign) Terminal() bool {
+	return rc.State == StateDone || rc.State == StateFailed
+}
+
+// Journal is the daemon's fsync'd JSONL write-ahead log. All methods are
+// safe for concurrent use.
+type Journal struct {
+	dir string
+	cfg JournalConfig
+
+	mu       sync.Mutex
+	f        *os.File
+	segIndex int
+	segSize  int64
+	disabled bool
+	failing  bool
+	stats    JournalStats
+	replayed []ReplayedCampaign
+}
+
+// OpenJournal opens (creating if needed) the journal directory, replays
+// every existing segment into a campaign table (Replayed), and starts a
+// fresh segment for this process's appends — never appending to a segment
+// that may end in a torn write from the previous crash.
+func OpenJournal(dir string, cfg JournalConfig) (*Journal, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, cfg: cfg}
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: journal glob: %w", err)
+	}
+	sort.Strings(segs)
+	byID := map[int]*ReplayedCampaign{}
+	for _, seg := range segs {
+		if err := j.replaySegment(seg, byID); err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	j.replayed = make([]ReplayedCampaign, 0, len(ids))
+	for _, id := range ids {
+		j.replayed = append(j.replayed, *byID[id])
+	}
+	j.segIndex = len(segs) + 1
+	if err := j.openSegment(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// replaySegment folds one segment's records into the campaign table.
+// Unparseable lines — a torn tail from the crash that ended the segment —
+// are counted and skipped, not fatal: losing the final unacknowledged
+// record is exactly the durability contract of a write-ahead log.
+func (j *Journal) replaySegment(path string, byID map[int]*ReplayedCampaign) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: journal segment %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			j.stats.ReplaySkipped++
+			continue
+		}
+		j.applyReplay(rec, byID)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("telemetry: journal segment %s: %w", path, err)
+	}
+	return nil
+}
+
+// applyReplay folds one record into the table. State records for IDs whose
+// submit record is missing (e.g. manually pruned segments) are skipped.
+func (j *Journal) applyReplay(rec journalRecord, byID map[int]*ReplayedCampaign) {
+	switch rec.Kind {
+	case journalKindSubmit:
+		if rec.Spec == nil {
+			j.stats.ReplaySkipped++
+			return
+		}
+		byID[rec.ID] = &ReplayedCampaign{
+			ID:        rec.ID,
+			Spec:      *rec.Spec,
+			Submitted: rec.TS,
+			State:     StateQueued,
+		}
+	case journalKindState:
+		rc, ok := byID[rec.ID]
+		if !ok {
+			j.stats.ReplaySkipped++
+			return
+		}
+		rc.State = rec.State
+		if rec.Attempt > rc.Attempts {
+			rc.Attempts = rec.Attempt
+		}
+		switch rec.State {
+		case StateRunning:
+			ts := rec.TS
+			rc.Started = &ts
+		case StateRetrying, StateFailed:
+			rc.Error, rc.Class = rec.Error, rec.Class
+		case StateDone:
+			rc.Solutions = rec.Solutions
+			rc.Queries = rec.Queries
+			rc.Retries = rec.Retries
+			rc.Degraded = rec.Degraded
+			rc.Error, rc.Class = "", ""
+		}
+		if rec.State == StateDone || rec.State == StateFailed {
+			ts := rec.TS
+			rc.Finished = &ts
+		}
+	default:
+		j.stats.ReplaySkipped++
+	}
+}
+
+// Replayed returns the campaigns reconstructed at open time, ascending ID.
+func (j *Journal) Replayed() []ReplayedCampaign {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]ReplayedCampaign(nil), j.replayed...)
+}
+
+// openSegment starts segment j.segIndex for appending. Callers hold j.mu or
+// have exclusive access (OpenJournal).
+func (j *Journal) openSegment() error {
+	path := filepath.Join(j.dir, fmt.Sprintf("journal-%06d.jsonl", j.segIndex))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("telemetry: journal segment %s: %w", path, err)
+	}
+	j.f = f
+	j.segSize = 0
+	j.stats.Segments++
+	return nil
+}
+
+// AppendSubmit journals a newly accepted job, durably, before the daemon
+// acknowledges it.
+func (j *Journal) AppendSubmit(id int, ts time.Time, spec JobSpec) error {
+	return j.append(journalRecord{Kind: journalKindSubmit, ID: id, TS: ts, Spec: &spec})
+}
+
+// StateChange is one campaign state transition to journal.
+type StateChange struct {
+	State   string
+	Attempt int
+	Error   string
+	Class   string
+	// Terminal outcome, for done records.
+	Solutions, Queries, Retries int
+	Degraded                    bool
+}
+
+// AppendState journals one state transition.
+func (j *Journal) AppendState(id int, ts time.Time, ch StateChange) error {
+	return j.append(journalRecord{
+		Kind: journalKindState, ID: id, TS: ts,
+		State: ch.State, Attempt: ch.Attempt, Error: ch.Error, Class: ch.Class,
+		Solutions: ch.Solutions, Queries: ch.Queries, Retries: ch.Retries,
+		Degraded: ch.Degraded,
+	})
+}
+
+// append writes one record followed by fsync, rotating segments by size.
+// Failures are counted, latch the failing flag (cleared by the next
+// successful append), and are returned — but the daemon deliberately keeps
+// running when the journal fails: availability over durability, with
+// /healthz reporting degraded.
+func (j *Journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("telemetry: journal encode: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.disabled || j.f == nil {
+		return nil
+	}
+	if err := j.writeLocked(line); err != nil {
+		j.stats.Errors++
+		j.failing = true
+		j.count("journal.errors", 1)
+		return err
+	}
+	j.failing = false
+	j.stats.Appends++
+	j.stats.Bytes += uint64(len(line))
+	j.count("journal.appends", 1)
+	j.count("journal.bytes", float64(len(line)))
+	return nil
+}
+
+// writeLocked performs the fault-injectable write+fsync under j.mu.
+func (j *Journal) writeLocked(line []byte) error {
+	if j.cfg.Fault != nil {
+		if err := j.cfg.Fault(); err != nil {
+			return fmt.Errorf("telemetry: journal write: %w", err)
+		}
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("telemetry: journal write: %w", err)
+	}
+	j.segSize += int64(len(line))
+	if !j.cfg.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("telemetry: journal fsync: %w", err)
+		}
+		j.stats.Fsyncs++
+		j.count("journal.fsyncs", 1)
+	}
+	if j.segSize >= j.cfg.SegmentBytes {
+		if err := j.f.Close(); err != nil {
+			return fmt.Errorf("telemetry: journal rotate close: %w", err)
+		}
+		j.segIndex++
+		if err := j.openSegment(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// count publishes a journal counter when a recorder is configured. Callers
+// hold j.mu, which is fine: Recorder implementations take their own locks
+// and never call back into the journal.
+func (j *Journal) count(name string, v float64) {
+	if j.cfg.Obs != nil {
+		j.cfg.Obs.Count(name, "", v)
+	}
+}
+
+// Stats returns the journal counters since open.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Failing reports whether the most recent append failed — the degraded
+// signal /healthz surfaces while the journal cannot persist.
+func (j *Journal) Failing() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failing
+}
+
+// Disable makes every later append a silent no-op. It is the crash
+// simulation hook: Daemon.Kill disables the journal before tearing down
+// workers, so nothing that happens during the simulated crash reaches disk
+// — exactly as if the process had died.
+func (j *Journal) Disable() {
+	j.mu.Lock()
+	j.disabled = true
+	j.mu.Unlock()
+}
+
+// Close flushes and closes the current segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: journal close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// openTestJournal opens a journal with fsync off (tmpfs tests do not need
+// the durability, only the record semantics).
+func openTestJournal(t *testing.T, dir string, cfg JournalConfig) *Journal {
+	t.Helper()
+	cfg.NoSync = true
+	j, err := OpenJournal(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, JournalConfig{})
+	if got := j.Replayed(); len(got) != 0 {
+		t.Fatalf("fresh journal replayed %d campaigns", len(got))
+	}
+
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	spec := JobSpec{Model: "smallcnn", Trials: 2, Q: 6}.withDefaults()
+	// Campaign 1 finished, 2 failed after a retry, 3 was mid-run at crash,
+	// 4 was still queued.
+	for id := 1; id <= 4; id++ {
+		if err := j.AppendSubmit(id, t0, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.AppendState(1, t0.Add(time.Second), StateChange{State: StateRunning, Attempt: 1}))
+	must(j.AppendState(1, t0.Add(2*time.Second), StateChange{
+		State: StateDone, Attempt: 1, Solutions: 4, Queries: 250, Retries: 3, Degraded: true,
+	}))
+	must(j.AppendState(2, t0.Add(time.Second), StateChange{State: StateRunning, Attempt: 1}))
+	must(j.AppendState(2, t0.Add(2*time.Second), StateChange{State: StateRetrying, Attempt: 1, Error: "boom", Class: "panic"}))
+	must(j.AppendState(2, t0.Add(3*time.Second), StateChange{State: StateRunning, Attempt: 2}))
+	must(j.AppendState(2, t0.Add(4*time.Second), StateChange{State: StateFailed, Attempt: 2, Error: "boom again", Class: "panic"}))
+	must(j.AppendState(3, t0.Add(time.Second), StateChange{State: StateRunning, Attempt: 1}))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir, JournalConfig{})
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != 4 {
+		t.Fatalf("replayed %d campaigns, want 4: %+v", len(got), got)
+	}
+	for i, rc := range got {
+		if rc.ID != i+1 {
+			t.Fatalf("replay order: got ID %d at index %d", rc.ID, i)
+		}
+		if rc.Spec.Model != "smallcnn" || rc.Spec.Trials != 2 {
+			t.Errorf("campaign %d spec not preserved: %+v", rc.ID, rc.Spec)
+		}
+		if !rc.Submitted.Equal(t0) {
+			t.Errorf("campaign %d submitted = %v, want %v", rc.ID, rc.Submitted, t0)
+		}
+	}
+	if c := got[0]; !c.Terminal() || c.State != StateDone || c.Solutions != 4 || c.Queries != 250 || c.Retries != 3 || !c.Degraded {
+		t.Errorf("campaign 1 outcome not preserved: %+v", c)
+	}
+	if c := got[0]; c.Finished == nil || !c.Finished.Equal(t0.Add(2*time.Second)) {
+		t.Errorf("campaign 1 finished timestamp: %+v", c.Finished)
+	}
+	if c := got[1]; !c.Terminal() || c.State != StateFailed || c.Error != "boom again" || c.Class != "panic" || c.Attempts != 2 {
+		t.Errorf("campaign 2 failure not preserved: %+v", c)
+	}
+	if c := got[2]; c.Terminal() || c.State != StateRunning || c.Attempts != 1 {
+		t.Errorf("campaign 3 should be requeueable running: %+v", c)
+	}
+	if c := got[3]; c.Terminal() || c.State != StateQueued {
+		t.Errorf("campaign 4 should be requeueable queued: %+v", c)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, JournalConfig{})
+	spec := JobSpec{Model: "smallcnn"}.withDefaults()
+	if err := j.AppendSubmit(1, time.Now(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, unparseable trailing line.
+	seg := filepath.Join(dir, "journal-000001.jsonl")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"state","id":1,"sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openTestJournal(t, dir, JournalConfig{})
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != 1 || got[0].State != StateQueued {
+		t.Fatalf("replay with torn tail = %+v, want campaign 1 queued", got)
+	}
+	if st := j2.Stats(); st.ReplaySkipped != 1 {
+		t.Errorf("ReplaySkipped = %d, want 1", st.ReplaySkipped)
+	}
+}
+
+func TestJournalSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, JournalConfig{SegmentBytes: 256})
+	spec := JobSpec{Model: "smallcnn"}.withDefaults()
+	for id := 1; id <= 20; id++ {
+		if err := j.AppendSubmit(id, time.Now(), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Segments < 3 {
+		t.Fatalf("256-byte segments after 20 submits: %d segments, want rotation", st.Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "journal-*.jsonl"))
+	if len(segs) < 3 {
+		t.Fatalf("on-disk segments = %d, want >= 3", len(segs))
+	}
+
+	j2 := openTestJournal(t, dir, JournalConfig{})
+	defer j2.Close()
+	if got := j2.Replayed(); len(got) != 20 {
+		t.Fatalf("replay across segments = %d campaigns, want 20", len(got))
+	}
+}
+
+func TestJournalWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	injected := errors.New("disk on fire")
+	failing := true
+	j := openTestJournal(t, dir, JournalConfig{Fault: func() error {
+		if failing {
+			return injected
+		}
+		return nil
+	}})
+	defer j.Close()
+	spec := JobSpec{Model: "smallcnn"}.withDefaults()
+
+	if err := j.AppendSubmit(1, time.Now(), spec); !errors.Is(err, injected) {
+		t.Fatalf("append under fault = %v, want injected error", err)
+	}
+	if !j.Failing() {
+		t.Error("journal not failing after injected write error")
+	}
+	if st := j.Stats(); st.Errors != 1 || st.Appends != 0 {
+		t.Errorf("stats after fault = %+v", st)
+	}
+
+	// Recovery: the next successful append clears the failing latch.
+	failing = false
+	if err := j.AppendSubmit(2, time.Now(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if j.Failing() {
+		t.Error("journal still failing after successful append")
+	}
+	if st := j.Stats(); st.Appends != 1 || st.Bytes == 0 {
+		t.Errorf("stats after recovery = %+v", st)
+	}
+}
+
+func TestJournalDisable(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, JournalConfig{})
+	spec := JobSpec{Model: "smallcnn"}.withDefaults()
+	if err := j.AppendSubmit(1, time.Now(), spec); err != nil {
+		t.Fatal(err)
+	}
+	j.Disable()
+	if err := j.AppendState(1, time.Now(), StateChange{State: StateDone, Attempt: 1}); err != nil {
+		t.Fatalf("append after Disable = %v, want silent no-op", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openTestJournal(t, dir, JournalConfig{})
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != 1 || got[0].Terminal() {
+		t.Fatalf("post-Disable appends reached disk: %+v", got)
+	}
+}

@@ -1,0 +1,347 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/huffduff/huffduff/internal/chaos"
+	"github.com/huffduff/huffduff/internal/faults"
+	"github.com/huffduff/huffduff/internal/obs"
+)
+
+// startServer binds a loopback server for d and returns its base URL plus a
+// teardown func.
+func startServer(t *testing.T, d *Daemon, col *obs.Collector) (string, func()) {
+	t.Helper()
+	srv := NewServer(ServerOptions{Collector: col, Campaigns: d, Submitter: d, Health: d, DisablePprof: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	return "http://" + l.Addr().String(), func() { srv.Shutdown(context.Background()) }
+}
+
+// waitState polls campaign id until its state matches one of want.
+func waitState(t *testing.T, d *Daemon, id int, timeout time.Duration, want ...string) CampaignSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		snap, ok := d.CampaignByID(id)
+		if ok {
+			for _, w := range want {
+				if snap.State == w {
+					return snap
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %d stuck in %q, want one of %v", id, snap.State, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonKillRestart is the crash-safety integration test: a daemon with
+// one running (chaos-stalled) and two queued campaigns is killed mid-run,
+// a second daemon restarts on the same journal directory, and every
+// campaign finishes with its original ID — no duplicates, no losses — while
+// the journal/requeue metrics appear on /metrics.
+func TestDaemonKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full smallcnn campaigns; skipped in -short (CI runs it in a dedicated race step)")
+	}
+	dir := t.TempDir()
+
+	// Phase 1: every victim run stalls, so campaign 1 wedges mid-attack
+	// while 2 and 3 wait in the queue. Then the process "dies".
+	j1, err := OpenJournal(dir, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := chaos.NewDaemonFaults(chaos.DaemonFaultsConfig{StallProb: 1})
+	d1 := NewDaemon(DaemonConfig{Workers: 1, QueueDepth: 8, Journal: j1, Faults: stall})
+	base1, stop1 := startServer(t, d1, nil)
+	for i := 0; i < 3; i++ {
+		snap := postJob(t, base1, tinySpec())
+		if snap.ID != i+1 {
+			t.Fatalf("submitted campaign got ID %d, want %d", snap.ID, i+1)
+		}
+	}
+	waitState(t, d1, 1, 30*time.Second, StateRunning)
+	if st := j1.Stats(); st.Appends == 0 || st.Fsyncs == 0 || st.Bytes == 0 {
+		t.Fatalf("journal recorded nothing before the crash: %+v", st)
+	}
+	d1.Kill()
+	stop1()
+
+	// Phase 2: restart on the same data dir, no fault injection. Replay
+	// must restore all three campaigns, requeue them, and run them to
+	// completion under their original IDs.
+	col := obs.NewCollector()
+	j2, err := OpenJournal(dir, JournalConfig{Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDaemon(DaemonConfig{Workers: 2, QueueDepth: 8, Journal: j2, Recorder: col})
+	base2, stop2 := startServer(t, d2, col)
+	defer stop2()
+
+	restored := getCampaigns(t, base2)
+	if len(restored) != 3 {
+		t.Fatalf("restart restored %d campaigns, want 3: %+v", len(restored), restored)
+	}
+	for _, c := range restored {
+		if !c.Resumed {
+			t.Errorf("campaign %d not marked resumed", c.ID)
+		}
+		if c.State == StateDone || c.State == StateFailed {
+			t.Errorf("campaign %d terminal at restore: %q", c.ID, c.State)
+		}
+	}
+
+	deadline := time.Now().Add(4 * time.Minute)
+	for {
+		done := 0
+		seen := map[int]int{}
+		for _, c := range getCampaigns(t, base2) {
+			seen[c.ID]++
+			if c.State == StateDone || c.State == StateFailed {
+				done++
+			}
+		}
+		for id, n := range seen {
+			if n > 1 {
+				t.Fatalf("campaign ID %d appears %d times after restart", id, n)
+			}
+		}
+		if len(seen) != 3 {
+			t.Fatalf("campaign set changed after restart: %v", seen)
+		}
+		if done == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed campaigns did not finish: %+v", getCampaigns(t, base2))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for id := 1; id <= 3; id++ {
+		c := getCampaign(t, base2, id)
+		if c.State != StateDone {
+			t.Fatalf("resumed campaign %d = %q (%s), want done", id, c.State, c.Error)
+		}
+		if c.SolutionCount < 1 {
+			t.Errorf("resumed campaign %d has no solutions", id)
+		}
+		if !c.Resumed {
+			t.Errorf("finished campaign %d lost its resumed mark", id)
+		}
+	}
+
+	// IDs keep growing from the replayed high-water mark.
+	snap := postJob(t, base2, tinySpec())
+	if snap.ID != 4 {
+		t.Fatalf("post-restart submission got ID %d, want 4", snap.ID)
+	}
+	waitState(t, d2, 4, 4*time.Minute, StateDone, StateFailed)
+
+	// The new durability metrics are live on /metrics.
+	metrics := scrapeProm(t, base2)
+	if v := metrics["daemon_requeues"]; v < 3 {
+		t.Errorf("daemon_requeues = %v, want >= 3", v)
+	}
+	for _, name := range []string{"journal_appends", "journal_fsyncs", "journal_bytes"} {
+		if metrics[name] <= 0 {
+			t.Errorf("metric %s missing or zero after restart: %v", name, metrics[name])
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := d2.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown after drain: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerPanicSupervision proves a panicking worker never crashes the
+// daemon: the panic is recovered into faults.ErrWorkerPanic, retried per
+// policy, and the campaign fails typed once attempts are exhausted.
+func TestWorkerPanicSupervision(t *testing.T) {
+	col := obs.NewCollector()
+	boom := chaos.NewDaemonFaults(chaos.DaemonFaultsConfig{PanicProb: 1})
+	d := NewDaemon(DaemonConfig{
+		Workers:  1,
+		Recorder: col,
+		Faults:   boom,
+		Retry:    RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond},
+	})
+	defer d.Kill()
+
+	snap, err := d.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, d, snap.ID, 30*time.Second, StateFailed)
+	if final.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one retry)", final.Attempts)
+	}
+	if final.ErrorClass != faults.ClassPanic {
+		t.Errorf("error class = %q, want %q", final.ErrorClass, faults.ClassPanic)
+	}
+	if !strings.Contains(final.Error, "panic") {
+		t.Errorf("error %q does not mention the recovered panic", final.Error)
+	}
+	if got := boom.Stats().Panics; got != 2 {
+		t.Errorf("injected panics = %d, want 2", got)
+	}
+	// The daemon survived: health is fine and the retry metrics landed.
+	if h := d.Health(); h.Status != "ok" {
+		t.Errorf("health after recovered panics = %q, want ok", h.Status)
+	}
+	prom := col.PromText()
+	for _, want := range []string{`daemon_retries{class="panic"}`, "daemon_worker_panics"} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metrics missing %s:\n%s", want, prom)
+		}
+	}
+}
+
+// TestJobDeadline proves per-job deadlines propagate via context into the
+// victim loop: a stalled run is unwedged by the deadline, classified as a
+// deadline fault, retried, and finally failed.
+func TestJobDeadline(t *testing.T) {
+	stall := chaos.NewDaemonFaults(chaos.DaemonFaultsConfig{StallProb: 1})
+	d := NewDaemon(DaemonConfig{
+		Workers: 1,
+		Faults:  stall,
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond},
+	})
+	defer d.Kill()
+
+	spec := tinySpec()
+	spec.TimeoutSeconds = 0.1
+	snap, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, d, snap.ID, 30*time.Second, StateFailed)
+	if final.ErrorClass != faults.ClassDeadline {
+		t.Errorf("error class = %q, want %q (%s)", final.ErrorClass, faults.ClassDeadline, final.Error)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", final.Attempts)
+	}
+}
+
+// TestJournalFailureDegradesHealth proves journal write faults never take
+// the daemon down: submissions still run, but /healthz reports degraded
+// while the journal cannot persist.
+func TestJournalFailureDegradesHealth(t *testing.T) {
+	faulty := chaos.NewDaemonFaults(chaos.DaemonFaultsConfig{JournalErrProb: 1, StallProb: 1})
+	j, err := OpenJournal(t.TempDir(), JournalConfig{NoSync: true, Fault: faulty.JournalFault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	d := NewDaemon(DaemonConfig{Workers: 1, Journal: j, Faults: faulty})
+	defer d.Kill()
+
+	if _, err := d.Submit(tinySpec()); err != nil {
+		t.Fatalf("submit with failing journal = %v, want accepted (degraded, not down)", err)
+	}
+	if h := d.Health(); h.Status != "degraded" || h.JournalErrors == 0 {
+		t.Fatalf("health with failing journal = %+v, want degraded with errors counted", h)
+	}
+	if st := j.Stats(); st.Errors == 0 || st.Appends != 0 {
+		t.Errorf("journal stats under total write failure = %+v", st)
+	}
+}
+
+// TestShutdownUnderLoad races concurrent submissions against Shutdown with
+// an aggressive drain deadline: every accepted job must either complete or
+// be journaled as requeueable — never silently lost — and every rejected
+// submit must return a typed error.
+func TestShutdownUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	stall := chaos.NewDaemonFaults(chaos.DaemonFaultsConfig{StallProb: 1})
+	j, err := OpenJournal(dir, JournalConfig{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(DaemonConfig{Workers: 2, QueueDepth: 64, Journal: j, Faults: stall})
+
+	var mu sync.Mutex
+	accepted := map[int]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				snap, err := d.Submit(tinySpec())
+				switch {
+				case err == nil:
+					mu.Lock()
+					accepted[snap.ID] = true
+					mu.Unlock()
+				case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrQueueFull):
+					// Typed rejection: the caller knows the job was not taken.
+				default:
+					t.Errorf("Submit returned untyped error %v", err)
+				}
+			}
+		}()
+	}
+	// Let some submissions land, then drain with a deadline far too short
+	// for the stalled workers.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	shutdownErr := d.Shutdown(ctx)
+	wg.Wait()
+	if len(accepted) == 0 {
+		t.Fatal("no submission landed before shutdown; test proves nothing")
+	}
+	if shutdownErr == nil {
+		t.Fatal("shutdown with stalled workers returned nil, want deadline error")
+	}
+	// Finish "crashing" so the journal is quiesced, then replay it.
+	d.Kill()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, JournalConfig{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	replayed := map[int]ReplayedCampaign{}
+	for _, rc := range j2.Replayed() {
+		replayed[rc.ID] = rc
+	}
+	for id := range accepted {
+		rc, ok := replayed[id]
+		if !ok {
+			t.Errorf("accepted campaign %d lost: not in journal replay", id)
+			continue
+		}
+		if rc.Terminal() {
+			t.Errorf("stalled campaign %d replayed terminal: %+v", id, rc)
+		}
+	}
+	for id := range replayed {
+		if !accepted[id] {
+			t.Errorf("journal replayed campaign %d that no submit acknowledged", id)
+		}
+	}
+}

@@ -27,6 +27,12 @@ type Submitter interface {
 	Submit(JobSpec) (CampaignSnapshot, error)
 }
 
+// HealthSource reports daemon health for /healthz. *Daemon implements it;
+// without one the endpoint degrades to a bare 200 "ok".
+type HealthSource interface {
+	Health() Health
+}
+
 // ServerOptions wires the telemetry server to its data sources. Every field
 // is optional: a missing source turns the corresponding endpoint into a
 // 404/empty response rather than a crash.
@@ -39,6 +45,9 @@ type ServerOptions struct {
 	Campaigns CampaignSource
 	// Submitter enables POST /campaigns.
 	Submitter Submitter
+	// Health backs /healthz: "ok" (200), "degraded" (200, journal failing),
+	// or "draining" (503, so load-balancers stop routing to a dying node).
+	Health HealthSource
 	// DisablePprof removes the net/http/pprof handlers (on by default:
 	// on-demand CPU/heap profiles are half the point of a live daemon).
 	DisablePprof bool
@@ -108,8 +117,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	if s.opts.Health == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	h := s.opts.Health.Health()
+	status := http.StatusOK
+	if h.Status == "draining" {
+		// A draining daemon finishes what it has but must receive no new
+		// work: 503 tells fleet load-balancers to route elsewhere.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -151,11 +171,14 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		snap, err := s.opts.Submitter.Submit(spec)
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			// Real backpressure: the bounded queue is full. 429 plus a
+			// Retry-After hint and a structured body, so clients can back
+			// off programmatically instead of parsing prose.
+			s.writeAPIError(w, http.StatusTooManyRequests, err, true)
 		case errors.Is(err, ErrShuttingDown):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			s.writeAPIError(w, http.StatusServiceUnavailable, err, true)
 		case err != nil:
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			s.writeAPIError(w, http.StatusBadRequest, err, false)
 		default:
 			writeJSON(w, http.StatusAccepted, snap)
 		}
@@ -180,6 +203,33 @@ func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// APIError is the structured error body of every non-2xx /campaigns
+// response. RetryAfterSeconds mirrors the Retry-After header on
+// backpressure rejections (429 queue-full, 503 draining).
+type APIError struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// writeAPIError writes a structured error response; withRetry adds the
+// Retry-After header and body field from the submitter's hint.
+func (s *Server) writeAPIError(w http.ResponseWriter, status int, err error, withRetry bool) {
+	body := APIError{Error: err.Error()}
+	if withRetry {
+		retry := 5 * time.Second
+		if h, ok := s.opts.Submitter.(interface{ RetryAfterHint() time.Duration }); ok {
+			retry = h.RetryAfterHint()
+		}
+		secs := int(retry.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		body.RetryAfterSeconds = secs
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, body)
 }
 
 // writeJSON writes v as an indented JSON response.
