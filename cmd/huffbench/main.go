@@ -24,12 +24,17 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/accel"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
+	"github.com/huffduff/huffduff/internal/obs"
+	"github.com/huffduff/huffduff/internal/prof"
 	"github.com/huffduff/huffduff/internal/prune"
 	"github.com/huffduff/huffduff/internal/sparse"
 )
@@ -40,10 +45,37 @@ type scenario struct {
 	run  func() (Metrics, error)
 }
 
+// benchEnv collects per-scenario side artifacts (attributed cost reports)
+// that do not belong in the gated metric record. Scenarios run sequentially,
+// so plain map writes are safe.
+type benchEnv struct {
+	reports map[string]string // scenario name -> prof report text
+}
+
+func newBenchEnv() *benchEnv { return &benchEnv{reports: map[string]string{}} }
+
+// hotspotText renders every scenario's attributed cost report in
+// deterministic order, for the -hotspots artifact.
+func (e *benchEnv) hotspotText() string {
+	names := make([]string, 0, len(e.reports))
+	for name := range e.reports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "=== %s ===\n%s\n", name, e.reports[name])
+	}
+	return sb.String()
+}
+
 // attackScenario deploys a pruned victim and measures one full attack:
 // host wall time, victim-query count, simulated device time and cycles,
-// and the size of the recovered solution space.
-func attackScenario(model string, scale int, keep float64, trials, q int, seed int64) func() (Metrics, error) {
+// the size of the recovered solution space, and — via an attached
+// obs.Collector feeding internal/prof — the per-stage cost breakdown
+// (wall, alloc, GC) that attributes those wall-seconds. The attributed
+// report text lands in env.reports for the -hotspots artifact.
+func attackScenario(env *benchEnv, name, model string, scale int, keep float64, trials, q int, seed int64) func() (Metrics, error) {
 	return func() (Metrics, error) {
 		arch, err := models.ByName(model, scale)
 		if err != nil {
@@ -57,14 +89,17 @@ func attackScenario(model string, scale int, keep float64, trials, q int, seed i
 		if keep < 1 {
 			prune.GlobalMagnitude(bind.Net.Params(), keep)
 		}
+		col := obs.NewCollector()
 		acfg := accel.DefaultConfig()
 		acfg.Seed = seed
+		acfg.Obs = col
 		m := accel.NewMachine(acfg, arch, bind)
 
 		cfg := attack.DefaultConfig()
 		cfg.Probe.Trials = trials
 		cfg.Probe.Q = q
 		cfg.Probe.Seed = seed
+		cfg.Obs = col
 		start := time.Now()
 		res, err := attack.Attack(m, cfg)
 		wall := time.Since(start).Seconds()
@@ -72,13 +107,42 @@ func attackScenario(model string, scale int, keep float64, trials, q int, seed i
 			return nil, err
 		}
 		dev := m.Campaign()
-		return Metrics{
+		met := Metrics{
 			"wall_seconds":   wall,
 			"victim_queries": float64(dev.Runs),
 			"device_seconds": dev.SimulatedTime,
 			"device_cycles":  dev.SimulatedTime * acfg.ClockHz,
 			"solution_count": float64(res.Space.Count()),
-		}, nil
+		}
+		rep := prof.BuildReport(col.Metrics(), wall, 12)
+		addStageMetrics(met, rep)
+		if env != nil {
+			env.reports[name] = rep.Text()
+		}
+		return met, nil
+	}
+}
+
+// addStageMetrics folds the attributed cost report into the scenario's
+// gated metric record: one wall/alloc/GC triple per pipeline stage plus the
+// simulator workload measures. Stage names come from the attack pipeline
+// (calibrate, probe, solve, geometry, timing, finalize).
+func addStageMetrics(m Metrics, rep *prof.Report) {
+	for _, s := range rep.Stages {
+		m["stage_"+s.Stage+"_wall_seconds"] = s.WallSeconds
+		m["stage_"+s.Stage+"_alloc_bytes"] = s.AllocBytes
+		m["stage_"+s.Stage+"_gc_cpu_seconds"] = s.GCCPUSeconds
+	}
+	// The suffix keeps this under the stage_*_wall_seconds prefix rule.
+	m["stage_total_wall_seconds"] = rep.StageWallSeconds
+	if rep.TraceEvents > 0 {
+		m["trace_events"] = rep.TraceEvents
+	}
+	if rep.WallPerDeviceSecond > 0 {
+		m["wall_device_ratio"] = rep.WallPerDeviceSecond
+	}
+	if rep.SymExprs > 0 {
+		m["sym_interned_exprs"] = rep.SymExprs
 	}
 }
 
@@ -119,10 +183,10 @@ func encodeMicro() (Metrics, error) {
 	}, nil
 }
 
-func scenarios() []scenario {
+func scenarios(env *benchEnv) []scenario {
 	return []scenario{
-		{"attack_smallcnn", attackScenario("smallcnn", 1, 0.5, 8, 8, 1)},
-		{"attack_resnet18", attackScenario("resnet18", 16, 0.6, 6, 16, 1234)},
+		{"attack_smallcnn", attackScenario(env, "attack_smallcnn", "smallcnn", 1, 0.5, 8, 8, 1)},
+		{"attack_resnet18", attackScenario(env, "attack_resnet18", "resnet18", 16, 0.6, 6, 16, 1234)},
 		{"encode_micro", encodeMicro},
 		{"daemon_restart", daemonRestart},
 	}
@@ -156,6 +220,11 @@ func runBench(path string, scens []scenario, slow slowdowns, gate, deterministic
 		logf("%s done in %.2fs: %v", s.name, time.Since(start).Seconds(), m)
 	}
 
+	if len(history) > 0 {
+		for _, line := range deltaLines(history[len(history)-1], rec) {
+			logf("%s", line)
+		}
+	}
 	var regressions []string
 	if gate && len(history) > 0 {
 		regressions = compare(history[len(history)-1], rec, deterministicOnly)
@@ -174,12 +243,44 @@ func main() {
 		noGate  = flag.Bool("no-gate", false, "record without comparing to the previous record")
 		detOnly = flag.Bool("deterministic-only", false,
 			"gate only machine-independent metrics (for comparing against a baseline recorded on different hardware)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
+		hotspots   = flag.String("hotspots", "", "write the per-scenario attributed cost reports to this file")
 	)
 	flag.Var(slow, "slow", "inject an artificial slowdown, scenario=factor (repeatable; gate self-test)")
 	flag.Parse()
 
-	regressions, err := runBench(*out, scenarios(), slow, !*noGate, *detOnly, log.Printf)
+	// main exits through os.Exit on the regression path, so the CPU profile
+	// is stopped explicitly rather than deferred.
+	stopCPU := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		cli.Check(err)
+		cli.Check(pprof.StartCPUProfile(f))
+		// The stage= / layer= goroutine labels set by internal/prof slice
+		// this profile: go tool pprof -tagfocus stage=probe <file>.
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			cli.Check(f.Close())
+		}
+	}
+
+	env := newBenchEnv()
+	regressions, err := runBench(*out, scenarios(env), slow, !*noGate, *detOnly, log.Printf)
+	stopCPU()
 	cli.Check(err)
+
+	if *hotspots != "" {
+		cli.Check(os.WriteFile(*hotspots, []byte(env.hotspotText()), 0o644))
+		log.Printf("hotspot report written to %s", *hotspots)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		cli.Check(err)
+		runtime.GC() // settle the heap so the profile shows live objects
+		cli.Check(pprof.WriteHeapProfile(f))
+		cli.Check(f.Close())
+	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			log.Printf("REGRESSION %s", r)

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/huffduff/huffduff/internal/prof"
 )
 
 func discard(string, ...any) {}
@@ -109,6 +111,114 @@ func TestCompareRules(t *testing.T) {
 	}
 }
 
+func TestRuleForStageFamily(t *testing.T) {
+	for _, m := range []string{"stage_probe_wall_seconds", "stage_total_wall_seconds"} {
+		r, ok := ruleFor(m)
+		if !ok || r.higherBetter || r.deterministic {
+			t.Errorf("ruleFor(%q) = %+v, %v; want a loose lower-is-better wall rule", m, r, ok)
+		}
+	}
+	// Alloc/GC stage metrics are recorded but deliberately not gated.
+	for _, m := range []string{"stage_probe_alloc_bytes", "stage_solve_gc_cpu_seconds"} {
+		if _, ok := ruleFor(m); ok {
+			t.Errorf("ruleFor(%q) gated a non-wall stage metric", m)
+		}
+	}
+	// Exact rules still win.
+	if r, ok := ruleFor("trace_events"); !ok || !r.deterministic {
+		t.Errorf("ruleFor(trace_events) = %+v, %v", r, ok)
+	}
+	if _, ok := ruleFor("nonsense"); ok {
+		t.Error("ruleFor invented a rule for an unknown metric")
+	}
+}
+
+func TestStageWallRegressionGates(t *testing.T) {
+	prev := Record{Scenarios: map[string]Metrics{
+		"s": {"stage_probe_wall_seconds": 1.0, "trace_events": 1000},
+	}}
+	next := Record{Scenarios: map[string]Metrics{
+		"s": {"stage_probe_wall_seconds": 3.0, "trace_events": 1000},
+	}}
+	if got := compare(prev, next, false); len(got) != 1 || !strings.Contains(got[0], "stage_probe_wall_seconds") {
+		t.Errorf("3x stage slowdown not caught: %v", got)
+	}
+	// Stage wall times are host noise in deterministic-only mode...
+	if got := compare(prev, next, true); len(got) != 0 {
+		t.Errorf("stage wall gated cross-machine: %v", got)
+	}
+	// ...but trace_events drift is code drift everywhere.
+	next.Scenarios["s"]["trace_events"] = 1200
+	if got := compare(prev, next, true); len(got) != 1 || !strings.Contains(got[0], "trace_events") {
+		t.Errorf("trace_events drift missed: %v", got)
+	}
+}
+
+func TestAddStageMetrics(t *testing.T) {
+	rep := &prof.Report{
+		StageWallSeconds:    4.5,
+		TraceEvents:         1000,
+		WallPerDeviceSecond: 250,
+		SymExprs:            5000,
+		Stages: []prof.StageCost{
+			{Stage: "probe", WallSeconds: 4, AllocBytes: 1 << 20, GCCPUSeconds: 0.1},
+			{Stage: "solve", WallSeconds: 0.5},
+		},
+	}
+	m := Metrics{}
+	addStageMetrics(m, rep)
+	want := Metrics{
+		"stage_probe_wall_seconds":   4,
+		"stage_probe_alloc_bytes":    1 << 20,
+		"stage_probe_gc_cpu_seconds": 0.1,
+		"stage_solve_wall_seconds":   0.5,
+		"stage_solve_alloc_bytes":    0,
+		"stage_solve_gc_cpu_seconds": 0,
+		"stage_total_wall_seconds":   4.5,
+		"trace_events":               1000,
+		"wall_device_ratio":          250,
+		"sym_interned_exprs":         5000,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+	// Zero-valued derived metrics stay out rather than polluting the record.
+	m2 := Metrics{}
+	addStageMetrics(m2, &prof.Report{})
+	for _, absent := range []string{"trace_events", "wall_device_ratio", "sym_interned_exprs"} {
+		if _, ok := m2[absent]; ok {
+			t.Errorf("empty report emitted %s", absent)
+		}
+	}
+}
+
+func TestDeltaLines(t *testing.T) {
+	prev := Record{Scenarios: map[string]Metrics{
+		"a": {"wall_seconds": 2.0, "gone": 1},
+		"z": {"wall_seconds": 1.0},
+	}}
+	next := Record{Scenarios: map[string]Metrics{
+		"a":         {"wall_seconds": 1.0, "fresh": 3},
+		"z":         {"wall_seconds": 1.5},
+		"brand_new": {"wall_seconds": 9},
+	}}
+	lines := deltaLines(prev, next)
+	want := []string{
+		"delta a: wall_seconds 2 -> 1 (-50.0%)",
+		"delta z: wall_seconds 1 -> 1.5 (+50.0%)",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v, want %d", len(lines), lines, len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
 func TestSlowdownsFlag(t *testing.T) {
 	s := slowdowns{}
 	if err := s.Set("attack_smallcnn=2"); err != nil {
@@ -132,7 +242,8 @@ func TestRealScenariosProduceRequiredMetrics(t *testing.T) {
 		t.Skip("full benchmark scenarios")
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
-	bad, err := runBench(path, scenarios(), nil, true, false, t.Logf)
+	env := newBenchEnv()
+	bad, err := runBench(path, scenarios(env), nil, true, false, t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +263,29 @@ func TestRealScenariosProduceRequiredMetrics(t *testing.T) {
 		}
 		if m["device_cycles"] < m["device_seconds"] {
 			t.Errorf("%s: cycles %v below seconds %v (clock rate lost?)", name, m["device_cycles"], m["device_seconds"])
+		}
+		// Cost attribution: the per-stage wall times must account for the
+		// scenario's end-to-end wall time to within 10% (the acceptance bar
+		// for the profiling subsystem — unattributed time means a stage is
+		// missing its span).
+		sum := m["stage_total_wall_seconds"]
+		if sum <= 0 {
+			t.Fatalf("%s: no stage wall attribution in %v", name, m)
+		}
+		if ratio := sum / m["wall_seconds"]; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: stages cover %.1f%% of wall time, want within 10%%", name, 100*ratio)
+		}
+		for _, stage := range []string{"calibrate", "probe", "solve", "geometry", "timing", "finalize"} {
+			if _, ok := m["stage_"+stage+"_wall_seconds"]; !ok {
+				t.Errorf("%s: stage %s missing from record", name, stage)
+			}
+		}
+		if m["trace_events"] <= 0 || m["wall_device_ratio"] <= 0 || m["sym_interned_exprs"] <= 0 {
+			t.Errorf("%s: simulator cost metrics missing: %v", name, m)
+		}
+		rep := env.reports[name]
+		if !strings.Contains(rep, "attributed cost report") || !strings.Contains(rep, "probe") {
+			t.Errorf("%s: hotspot report missing or empty:\n%s", name, rep)
 		}
 	}
 	if recs[0].Scenarios["encode_micro"]["values_per_second"] <= 0 {

@@ -72,6 +72,29 @@ var rules = map[string]rule{
 	"solution_count":    {higherBetter: false, threshold: 1.05, deterministic: true},
 	"values_per_second": {higherBetter: true, threshold: 1.8},
 	"bytes_per_second":  {higherBetter: true, threshold: 1.8},
+	// Cost-attribution metrics (internal/prof via attackScenario). Trace
+	// events and interner size depend only on the code path, so they gate
+	// across machines; the interner gets slack for solve-schedule tweaks.
+	"trace_events":       {higherBetter: false, threshold: 1.05, deterministic: true},
+	"sym_interned_exprs": {higherBetter: false, threshold: 1.1, deterministic: true},
+	// wall/device is the simulator slowdown the fast-path work must cut; a
+	// loose host-noise threshold still catches a hot-loop regression.
+	"wall_device_ratio": {higherBetter: false, threshold: 2.5},
+}
+
+// ruleFor resolves the regression policy for a metric: exact rules first,
+// then the per-stage wall-time family (stage_<name>_wall_seconds, including
+// stage_total_wall_seconds), which is host-noisy — single stages jitter more
+// than the end-to-end wall — so it gets the loosest threshold. Stage alloc
+// and GC metrics are recorded but not gated: GC timing makes them bimodal.
+func ruleFor(m string) (rule, bool) {
+	if r, ok := rules[m]; ok {
+		return r, true
+	}
+	if strings.HasPrefix(m, "stage_") && strings.HasSuffix(m, "_wall_seconds") {
+		return rule{higherBetter: false, threshold: 2.5}, true
+	}
+	return rule{}, false
 }
 
 // compare gates the new record against the previous one and returns one
@@ -97,7 +120,7 @@ func compare(prev, next Record, deterministicOnly bool) []string {
 		}
 		sort.Strings(metrics)
 		for _, m := range metrics {
-			r, gated := rules[m]
+			r, gated := ruleFor(m)
 			old, both := oldM[m]
 			if !gated || !both || old == 0 {
 				continue
@@ -118,6 +141,40 @@ func compare(prev, next Record, deterministicOnly bool) []string {
 		}
 	}
 	return bad
+}
+
+// deltaLines renders the per-metric change of the new record against the
+// previous one, one line per metric shared by both records, in deterministic
+// order. This is the human-readable trajectory view printed on every run;
+// the gate (compare) decides pass/fail separately.
+func deltaLines(prev, next Record) []string {
+	var lines []string
+	names := make([]string, 0, len(next.Scenarios))
+	for name := range next.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oldM, ok := prev.Scenarios[name]
+		if !ok {
+			continue
+		}
+		metrics := make([]string, 0, len(next.Scenarios[name]))
+		for m := range next.Scenarios[name] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			old, both := oldM[m]
+			if !both || old == 0 {
+				continue
+			}
+			val := next.Scenarios[name][m]
+			lines = append(lines, fmt.Sprintf("delta %s: %s %.4g -> %.4g (%+.1f%%)",
+				name, m, old, val, 100*(val-old)/old))
+		}
+	}
+	return lines
 }
 
 // slowdowns parses repeated -slow name=factor flags.

@@ -39,6 +39,7 @@ import (
 
 	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/obs"
+	"github.com/huffduff/huffduff/internal/prof"
 	"github.com/huffduff/huffduff/internal/telemetry"
 )
 
@@ -102,12 +103,13 @@ func main() {
 		Campaigns: d,
 		Submitter: d,
 		Health:    d,
+		Runtime:   prof.NewRuntimeSampler(),
 	})
 
 	l, err := net.Listen("tcp", *addr)
 	cli.Check(err)
 	log.Printf("huffduffd listening on http://%s (%d workers, queue %d)", l.Addr(), *workers, *queue)
-	log.Printf("endpoints: /metrics /healthz /campaigns /events /debug/pprof/")
+	log.Printf("endpoints: /metrics /healthz /campaigns /events /debug/profile /debug/pprof/")
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()

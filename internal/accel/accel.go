@@ -11,8 +11,10 @@
 package accel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"sync"
 
 	"github.com/huffduff/huffduff/internal/dram"
@@ -271,6 +273,16 @@ func (e *emitter) interleavedReads(inputs []addrRange, weights addrRange) {
 // Run executes one inference (batch size 1) and returns the DRAM trace.
 // The returned trace begins with the attacker's input DMA segment.
 func (m *Machine) Run(img *tensor.Tensor) (*trace.Trace, error) {
+	return m.RunCtx(context.Background(), img)
+}
+
+// RunCtx is Run with a caller-supplied context. On observed runs (Cfg.Obs
+// set) each unit's simulation executes under a goroutine pprof label
+// layer=<unit name> merged into ctx's label set, so a CPU profile captured
+// around a campaign slices by pipeline stage AND by simulated layer. The
+// context carries no cancellation semantics here — one inference is the
+// simulator's atomic unit.
+func (m *Machine) RunCtx(ctx context.Context, img *tensor.Tensor) (*trace.Trace, error) {
 	if img.NumDims() == 3 {
 		img = img.Reshape(1, img.Dim(0), img.Dim(1), img.Dim(2))
 	}
@@ -307,7 +319,18 @@ func (m *Machine) Run(img *tensor.Tensor) (*trace.Trace, error) {
 		return outRanges[id]
 	}
 
+	// Per-layer CPU attribution: only observed runs pay for the label swap
+	// (two small allocations per unit), and the parent label set is restored
+	// before returning so the caller's stage= label survives.
+	observed := m.Cfg.Obs != nil
+	if observed {
+		defer pprof.SetGoroutineLabels(ctx)
+	}
+
 	for i, u := range m.Arch.Units {
+		if observed {
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("layer", u.Name)))
+		}
 		// 1. Fetch inputs (and weights, interleaved).
 		var inputs []addrRange
 		readBytes := m.weightAddrs[i].size
@@ -348,6 +371,13 @@ func (m *Machine) Run(img *tensor.Tensor) (*trace.Trace, error) {
 		})
 	}
 	m.stats.DRAMReadBytes, m.stats.DRAMWriteBytes = e.tr.TotalBytes()
+	for _, a := range e.tr.Accesses {
+		if a.Op == trace.Read {
+			m.stats.TraceReadEvents++
+		} else {
+			m.stats.TraceWriteEvents++
+		}
+	}
 	m.finalizeStats(e.t)
 	return e.tr, nil
 }

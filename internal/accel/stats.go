@@ -61,6 +61,12 @@ type Stats struct {
 	// EffectualMACs counts multiply-accumulates after two-sided zero
 	// skipping; DenseMACs is the count a dense accelerator would perform.
 	EffectualMACs, DenseMACs float64
+	// TraceReadEvents / TraceWriteEvents count the individual DRAM trace
+	// accesses emitted by this inference. Every event costs host CPU in the
+	// simulator's hot loops (emission, then segmentation and feature
+	// extraction on the attack side), so these are the denominators for the
+	// host-side events/sec rate computed by internal/prof.
+	TraceReadEvents, TraceWriteEvents int
 	// Latency is the end-to-end inference time in seconds (simulated
 	// device time, not host wall-clock).
 	Latency float64
@@ -116,6 +122,10 @@ type CampaignStats struct {
 	DRAMWriteBytes int     `json:"dram_write_bytes"`
 	EffectualMACs  float64 `json:"effectual_macs"`
 	DenseMACs      float64 `json:"dense_macs"`
+	// TraceReadEvents / TraceWriteEvents total the DRAM trace accesses the
+	// campaign generated — the simulator hot-loop workload measure.
+	TraceReadEvents  int `json:"trace_read_events"`
+	TraceWriteEvents int `json:"trace_write_events"`
 	// SimulatedTime is the summed per-inference device latency.
 	SimulatedTime float64 `json:"simulated_seconds"`
 	// EnergyPJ sums the per-run energy estimates.
@@ -165,6 +175,8 @@ func (m *Machine) accumulateCampaign() {
 	c.DRAMWriteBytes += m.stats.DRAMWriteBytes
 	c.EffectualMACs += m.stats.EffectualMACs
 	c.DenseMACs += m.stats.DenseMACs
+	c.TraceReadEvents += m.stats.TraceReadEvents
+	c.TraceWriteEvents += m.stats.TraceWriteEvents
 	c.SimulatedTime += m.stats.Latency
 	c.EnergyPJ.DRAM += m.stats.EnergyPJ.DRAM
 	c.EnergyPJ.GLB += m.stats.EnergyPJ.GLB
@@ -240,6 +252,8 @@ func (m *Machine) emitTelemetry() {
 	}
 	rec.Count("accel.runs", "", 1)
 	rec.Count("accel.simulated_seconds", "", m.stats.Latency)
+	rec.Count("accel.trace_events", "op=read", float64(m.stats.TraceReadEvents))
+	rec.Count("accel.trace_events", "op=write", float64(m.stats.TraceWriteEvents))
 	rec.Count("accel.energy_pj", "component=dram", m.stats.EnergyPJ.DRAM)
 	rec.Count("accel.energy_pj", "component=glb", m.stats.EnergyPJ.GLB)
 	rec.Count("accel.energy_pj", "component=mac", m.stats.EnergyPJ.MAC)

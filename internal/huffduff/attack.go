@@ -5,10 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"time"
 
 	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/obs"
+	"github.com/huffduff/huffduff/internal/prof"
 	"github.com/huffduff/huffduff/internal/symconv"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
@@ -161,20 +161,13 @@ func Attack(victim Victim, cfg Config) (*Result, error) {
 	return AttackContext(context.Background(), victim, cfg)
 }
 
-// stageSpan opens a pipeline-stage span and returns (stage ctx, closer); the
-// closer ends the span and records the stage's host wall time into the
-// `stage.seconds{stage=...}` histogram.
+// stageSpan opens a cost-attributed pipeline-stage region (obs span, pprof
+// stage label, runtime sampling) and returns (stage ctx, closer); the closer
+// ends the span and records the stage's host wall time into the
+// `stage.seconds{stage=...}` histogram plus the `prof.stage.*` resource
+// counters. See internal/prof.
 func stageSpan(ctx context.Context, name string) (context.Context, func()) {
-	rec := obs.RecorderFrom(ctx)
-	if rec == nil {
-		return ctx, func() {}
-	}
-	sctx, sp := obs.Start(ctx, name)
-	start := time.Now()
-	return sctx, func() {
-		sp.End()
-		rec.Observe("stage.seconds", "stage="+name, time.Since(start).Seconds())
-	}
+	return prof.Stage(ctx, name)
 }
 
 // AttackContext is Attack with a caller-supplied context. Config.Obs (when
@@ -456,6 +449,11 @@ func solveConverged(ctx context.Context, data *ProbeData, cfg Config) (*ProbeRes
 			continue
 		}
 		obs.Gauge(ictx, "solve.ambiguity", fmt.Sprintf("trials=%d", t), float64(solveAmbiguity(pr)))
+		// Interner cost attribution: each scheduled solve builds a fresh
+		// engine, so the per-solve expression count and hit rate localize
+		// where symbolic blowup (the VGG-S failure mode) comes from.
+		obs.Gauge(ictx, "sym.interned_exprs", fmt.Sprintf("trials=%d", t), float64(pr.Sym.Exprs))
+		obs.Gauge(ictx, "sym.intern_hit_rate", fmt.Sprintf("trials=%d", t), pr.Sym.HitRate())
 		results[i] = pr
 		sp.End()
 	}

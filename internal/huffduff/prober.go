@@ -11,6 +11,7 @@ import (
 	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/probe"
+	"github.com/huffduff/huffduff/internal/sym"
 	"github.com/huffduff/huffduff/internal/symconv"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
@@ -199,20 +200,53 @@ type ProbeData struct {
 	Retries int
 }
 
+// ctxVictim is the optional context-aware victim interface. accel.Machine
+// implements it so per-layer pprof labels (and any future per-run context)
+// flow into the simulator; victims that only implement Run work unchanged.
+type ctxVictim interface {
+	RunCtx(ctx context.Context, img *tensor.Tensor) (*trace.Trace, error)
+}
+
+// runVictim dispatches one inference, preferring the context-aware path.
+func runVictim(ctx context.Context, victim Victim, img *tensor.Tensor) (*trace.Trace, error) {
+	if cv, ok := victim.(ctxVictim); ok {
+		return cv.RunCtx(ctx, img)
+	}
+	return victim.Run(img)
+}
+
 // runObserved runs one victim inference, analyzes the trace, and validates
 // it (trace.Validate plus the optional caller check), retrying transient
 // failures and corrupt traces up to cfg.MaxRetries times with exponential
 // backoff from cfg.RetryBackoff. It returns the accepted observation and
 // how many retries were spent. Every attempt increments victim.inferences;
 // retries are counted per sentinel class under victim.retries{class=...}.
+// With a recorder attached, the host cost of every attempt lands in the
+// victim.run_seconds and victim.analyze_seconds histograms — the per-query
+// price the cost-attribution report summarizes.
 func runObserved(ctx context.Context, victim Victim, img *tensor.Tensor, cfg ProbeConfig, check func([]trace.SegmentObs) error) ([]trace.SegmentObs, int, error) {
+	rec := obs.RecorderFrom(ctx)
 	runOnce := func() ([]trace.SegmentObs, error) {
 		obs.Count(ctx, "victim.inferences", "", 1)
-		tr, err := victim.Run(img)
+		var runStart time.Time
+		if rec != nil {
+			runStart = time.Now()
+		}
+		tr, err := runVictim(ctx, victim, img)
+		if rec != nil {
+			rec.Observe("victim.run_seconds", "", time.Since(runStart).Seconds())
+		}
 		if err != nil {
 			return nil, fmt.Errorf("huffduff: victim inference: %w", err)
 		}
+		var anaStart time.Time
+		if rec != nil {
+			anaStart = time.Now()
+		}
 		segs, err := trace.Analyze(tr)
+		if rec != nil {
+			rec.Observe("victim.analyze_seconds", "", time.Since(anaStart).Seconds())
+		}
 		if err != nil {
 			return nil, fmt.Errorf("huffduff: trace analysis: %w", err)
 		}
@@ -585,6 +619,11 @@ type ProbeResult struct {
 	Exact map[int]bool
 	// TrialsUsed is how many trials the result was computed from.
 	TrialsUsed int
+	// Sym snapshots the symbolic engine's interner after the solve:
+	// distinct-expression count and intern hit/miss split. This is the
+	// solver's cost attribution — a VGG-S-style expression blowup is visible
+	// here long before the process runs out of memory.
+	Sym sym.Stats
 }
 
 // solver carries the state of the backtracking geometry search.
@@ -937,6 +976,7 @@ func (pd *ProbeData) Solve(trials int) (*ProbeResult, error) {
 		PoolFactors: s.pools,
 		Exact:       s.exact,
 		TrialsUsed:  trials,
+		Sym:         s.eng.In.Stats(),
 	}, nil
 }
 

@@ -118,6 +118,76 @@ func TestPromTextFormatAndCumulativeInvariant(t *testing.T) {
 	}
 }
 
+// TestPromNameEscaping pins the name-sanitization edge cases: leading
+// digits must not survive (Prometheus names may not start with a digit),
+// unicode collapses to underscores rune-by-rune, and the legal charset
+// passes through untouched.
+func TestPromNameEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"stage.seconds", "stage_seconds"},
+		{"7layers", "_layers"},   // leading digit escaped
+		{"layer7", "layer7"},     // interior digit kept
+		{"0", "_"},               // single leading digit
+		{"temp°c", "temp_c"},     // one unicode rune, one underscore
+		{"métrique", "m_trique"}, // mid-word unicode
+		{"名前", "__"},             // all-unicode name still non-empty
+		{"a:b_c", "a:b_c"},       // colons and underscores are legal
+		{"sym.intern-hit/rate", "sym_intern_hit_rate"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := promName(c.in); got != c.want {
+			t.Errorf("promName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPromLabelsEscaping pins label rendering: the first '=' splits key from
+// value, so values containing '=' stay intact; keyless labels get the
+// "label" key; multiple pairs split on commas; label keys are sanitized like
+// metric names.
+func TestPromLabelsEscaping(t *testing.T) {
+	cases := []struct{ label, le, want string }{
+		{"", "", ""},
+		{"", "2", `{le="2"}`},
+		{"stage=probe", "", `{stage="probe"}`},
+		// '=' inside the value: only the first '=' is the separator.
+		{"expr=a=b", "", `{expr="a=b"}`},
+		{"filter=keep==0.6", "", `{filter="keep==0.6"}`},
+		// No '=' at all: the value lands under the fallback key.
+		{"orphan", "", `{label="orphan"}`},
+		// Multiple pairs, plus an le bound appended last.
+		{"stage=probe,layer=conv1", "4", `{stage="probe",layer="conv1",le="4"}`},
+		// Label keys get the same charset treatment as metric names.
+		{"7key=v", "", `{_key="v"}`},
+		{"ké=v", "", `{k_="v"}`},
+	}
+	for _, c := range cases {
+		if got := promLabels(c.label, c.le); got != c.want {
+			t.Errorf("promLabels(%q, %q) = %q, want %q", c.label, c.le, got, c.want)
+		}
+	}
+}
+
+// TestPromTextSurvivesHostileSeries renders a collector fed adversarial
+// names and labels and checks every emitted sample still parses as
+// Prometheus text — the exporter must sanitize, never emit garbage.
+func TestPromTextSurvivesHostileSeries(t *testing.T) {
+	col := NewCollector()
+	col.Count("7seg.display", "", 1)
+	col.Count("名前.metric", "キー=値", 2)
+	col.Gauge("g", "expr=a==b,other=c", 3)
+	col.Observe("h°", "k=v=w", 0.5)
+	for _, line := range strings.Split(strings.TrimRight(col.PromText(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("hostile series produced invalid sample line: %q", line)
+		}
+	}
+}
+
 func parseUint(t *testing.T, line string) uint64 {
 	t.Helper()
 	fields := strings.Fields(line)

@@ -6,6 +6,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 )
@@ -145,5 +147,76 @@ func TestFanout(t *testing.T) {
 		if c.CounterValue("x", "") != 2 {
 			t.Fatal("fanout did not reach every sink")
 		}
+	}
+}
+
+// TestStreamSinksConcurrentRecorders hammers a JSONLSink and a
+// FlightRecorder through one Fanout from many goroutines at once — the
+// daemon's steady state, where worker campaigns, the scrape handler, and the
+// runtime sampler all record concurrently. Every JSONL line must still be
+// one complete JSON object (no interleaved writes), and the flight ring must
+// account for exactly every event.
+func TestStreamSinksConcurrentRecorders(t *testing.T) {
+	const (
+		workers = 8
+		each    = 250
+		ringCap = 64
+	)
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	flight := NewFlightRecorder(ringCap)
+	rec := Fanout(sink, flight)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := WithRecorder(context.Background(), rec)
+			for i := 0; i < each; i++ {
+				sctx, sp := Start(ctx, "work")
+				Count(sctx, "events", "worker="+strconv.Itoa(w), 1)
+				Observe(sctx, "lat", "", float64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// 4 events per iteration: span_start, count, observe, span_end.
+	wantEvents := uint64(workers * each * 4)
+	if got := flight.Total(); got != wantEvents {
+		t.Errorf("flight recorder saw %d events, want %d", got, wantEvents)
+	}
+	if got := len(flight.Events()); got != ringCap {
+		t.Errorf("flight ring holds %d events, want cap %d", got, ringCap)
+	}
+	// Every retained event is fully formed — a torn ring write under
+	// concurrency would surface as a zero-valued Event. (Timestamps are
+	// sampled before the ring lock, so strict TS order across goroutines is
+	// deliberately not guaranteed and not asserted.)
+	for i, ev := range flight.Events() {
+		if ev.Kind == "" || ev.TS == 0 {
+			t.Errorf("flight event %d torn or empty: %+v", i, ev)
+		}
+	}
+
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d is not one JSON event (interleaved write?): %v: %q", lines, err, sc.Text())
+		}
+		if ev.Kind == "" {
+			t.Fatalf("line %d lost its kind: %q", lines, sc.Text())
+		}
+		lines++
+	}
+	if uint64(lines) != wantEvents {
+		t.Errorf("JSONL sink wrote %d lines, want %d", lines, wantEvents)
 	}
 }

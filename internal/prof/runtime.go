@@ -1,0 +1,136 @@
+package prof
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+
+	"github.com/huffduff/huffduff/internal/obs"
+)
+
+// Gauge metric names sampled by RuntimeSampler. heap_alloc_bytes is live
+// heap (objects currently reachable or not yet swept), matching what an
+// operator means by "how big is the heap right now".
+const (
+	goroutinesMetric = "/sched/goroutines:goroutines"
+	heapBytesMetric  = "/memory/classes/heap/objects:bytes"
+	totalAllocMetric = "/gc/heap/allocs:bytes"
+	gcCycleCountName = "/gc/cycles/total:gc-cycles"
+)
+
+// gcPauseCandidates are the stop-the-world pause histograms in preference
+// order; the first one this runtime supports is used. /sched/pauses is the
+// Go 1.22+ name, /gc/pauses the pre-1.22 alias.
+var gcPauseCandidates = []string{
+	"/sched/pauses/total/gc:seconds",
+	"/gc/pauses:seconds",
+}
+
+// RuntimeSampler publishes Go runtime health gauges and the GC pause
+// histogram to an obs.Recorder. It is pull-oriented: call Sample on every
+// /metrics scrape (or on whatever cadence suits the consumer); each call
+// emits the current gauges and feeds only the *new* GC pauses since the
+// previous call into the `runtime.gc_pause_seconds` histogram, so scraping
+// twice never double-counts a pause. Safe for concurrent use.
+type RuntimeSampler struct {
+	mu        sync.Mutex
+	pauseName string   // supported pause-histogram metric, "" if none
+	prevPause []uint64 // cumulative bucket counts at the previous sample
+}
+
+// NewRuntimeSampler probes the running runtime for the supported metric set
+// and returns a ready sampler.
+func NewRuntimeSampler() *RuntimeSampler {
+	s := &RuntimeSampler{}
+	for _, name := range gcPauseCandidates {
+		probe := []metrics.Sample{{Name: name}}
+		metrics.Read(probe)
+		if probe[0].Value.Kind() == metrics.KindFloat64Histogram {
+			s.pauseName = name
+			break
+		}
+	}
+	return s
+}
+
+// Sample reads the runtime and publishes to rec:
+//
+//	runtime.goroutines            gauge
+//	runtime.heap_alloc_bytes      gauge, live heap bytes
+//	runtime.total_alloc_bytes     gauge, cumulative allocated bytes
+//	runtime.gc_cycles             gauge, completed GC cycles
+//	runtime.gc_pause_seconds      histogram, one observation per new pause
+//
+// A nil rec is a no-op.
+func (s *RuntimeSampler) Sample(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	samples := []metrics.Sample{
+		{Name: goroutinesMetric},
+		{Name: heapBytesMetric},
+		{Name: totalAllocMetric},
+		{Name: gcCycleCountName},
+	}
+	if s.pauseName != "" {
+		samples = append(samples, metrics.Sample{Name: s.pauseName})
+	}
+	metrics.Read(samples)
+	gaugeNames := []string{
+		"runtime.goroutines",
+		"runtime.heap_alloc_bytes",
+		"runtime.total_alloc_bytes",
+		"runtime.gc_cycles",
+	}
+	for i, out := range gaugeNames {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			rec.Gauge(out, "", float64(samples[i].Value.Uint64()))
+		}
+	}
+	if s.pauseName == "" {
+		return
+	}
+	h := samples[len(samples)-1].Value.Float64Histogram()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, count := range h.Counts {
+		prev := uint64(0)
+		if i < len(s.prevPause) {
+			prev = s.prevPause[i]
+		}
+		fresh := count - prev
+		if fresh == 0 {
+			continue
+		}
+		// Observe each new pause at its bucket's representative value. The
+		// runtime histogram brackets bucket i as [Buckets[i], Buckets[i+1});
+		// edges can be ±Inf, so fall back to whichever bound is finite.
+		v := pauseBucketValue(h.Buckets, i)
+		// A scrape gap can accumulate many pauses; cap the per-call fan-out
+		// so a long gap cannot stall a scrape. The remainder lands as one
+		// summed observation, keeping the histogram's _sum faithful.
+		const maxObs = 256
+		if fresh > maxObs {
+			rec.Observe("runtime.gc_pause_seconds", "", v*float64(fresh-maxObs+1))
+			fresh = maxObs - 1
+		}
+		for j := uint64(0); j < fresh; j++ {
+			rec.Observe("runtime.gc_pause_seconds", "", v)
+		}
+	}
+	s.prevPause = append(s.prevPause[:0], h.Counts...)
+}
+
+// pauseBucketValue picks a finite representative value for bucket i of a
+// runtime Float64Histogram.
+func pauseBucketValue(buckets []float64, i int) float64 {
+	lo, hi := buckets[i], buckets[i+1]
+	switch {
+	case !math.IsInf(lo, 0) && !math.IsInf(hi, 0):
+		return (lo + hi) / 2
+	case math.IsInf(lo, 0):
+		return hi
+	default:
+		return lo
+	}
+}

@@ -50,6 +50,11 @@ type Interner struct {
 	nodes []node
 	index map[string]ID
 	kbuf  []byte // scratch for key construction; intern is the hot path
+	// hits/misses count intern lookups that found an existing expression vs
+	// materialized a new one. They cost one integer add on the hot path and
+	// are the raw material for the solver's cost attribution (a VGG-S solve
+	// is "interner-bound" exactly when misses explode; see ROADMAP).
+	hits, misses uint64
 }
 
 // NewInterner returns an interner pre-seeded with Zero and One.
@@ -101,8 +106,10 @@ func (in *Interner) intern(n node) ID {
 	// map[string]ID lookup keyed by []byte compiles to a no-alloc probe;
 	// the key string is materialized only for genuinely new expressions.
 	if id, ok := in.index[string(in.kbuf)]; ok {
+		in.hits++
 		return id
 	}
+	in.misses++
 	id := ID(len(in.nodes))
 	in.nodes = append(in.nodes, n)
 	in.index[string(in.kbuf)] = id
@@ -169,6 +176,31 @@ func (in *Interner) Max(args []ID) ID {
 
 // NumExprs returns how many distinct expressions have been interned.
 func (in *Interner) NumExprs() int { return len(in.nodes) }
+
+// Stats is the interner's cost-attribution snapshot: the distinct-expression
+// count and how the intern lookups split between cache hits and new
+// materializations. HitRate of a healthy solve is close to 1; a solve whose
+// expression count explodes shows up here first.
+type Stats struct {
+	Exprs  int
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns the fraction of intern lookups served by an existing
+// expression (0 when the interner was never used).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the interner's current counters.
+func (in *Interner) Stats() Stats {
+	return Stats{Exprs: len(in.nodes), Hits: in.hits, Misses: in.misses}
+}
 
 // String renders an expression for debugging.
 func (in *Interner) String(id ID) string {

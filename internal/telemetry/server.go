@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"archive/zip"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,11 +10,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	rtpprof "runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/huffduff/huffduff/internal/obs"
+	"github.com/huffduff/huffduff/internal/prof"
 )
 
 // CampaignSource lists campaigns for /campaigns. *Daemon implements it.
@@ -48,6 +53,10 @@ type ServerOptions struct {
 	// Health backs /healthz: "ok" (200), "degraded" (200, journal failing),
 	// or "draining" (503, so load-balancers stop routing to a dying node).
 	Health HealthSource
+	// Runtime, when set alongside Collector, refreshes Go runtime gauges
+	// (goroutines, heap bytes, GC cycles, GC pause histogram) into the
+	// Collector on every /metrics scrape.
+	Runtime *prof.RuntimeSampler
 	// DisablePprof removes the net/http/pprof handlers (on by default:
 	// on-demand CPU/heap profiles are half the point of a live daemon).
 	DisablePprof bool
@@ -59,6 +68,9 @@ type Server struct {
 	opts ServerOptions
 	mux  *http.ServeMux
 	http *http.Server
+	// profiling guards /debug/profile: the runtime allows one CPU profile
+	// at a time process-wide, so concurrent captures get 409.
+	profiling atomic.Bool
 }
 
 // NewServer builds the server; call Serve or ListenAndServe to start it.
@@ -69,6 +81,7 @@ func NewServer(opts ServerOptions) *Server {
 	s.mux.HandleFunc("/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("/campaigns/", s.handleCampaignByID)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/profile", s.handleProfile)
 	if !opts.DisablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -137,8 +150,91 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no collector configured", http.StatusNotFound)
 		return
 	}
+	if s.opts.Runtime != nil {
+		// Pull-driven runtime health: gauges reflect the moment of the
+		// scrape, and GC pauses land exactly once across scrapes.
+		s.opts.Runtime.Sample(s.opts.Collector)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.opts.Collector.WriteProm(w)
+}
+
+// profileSecondsMax caps the /debug/profile capture window so a stray query
+// parameter cannot pin the profiler (and its capture slot) for minutes.
+const profileSecondsMax = 60
+
+// handleProfile captures an on-demand diagnostic bundle: a CPU profile over
+// ?seconds (default 5, max 60) zipped together with the flight-recorder
+// events that happened *during the capture window* and a metrics snapshot —
+// the three artifacts a post-mortem wants, correlated in time. One capture
+// runs at a time (409 otherwise). Captures are counted as
+// daemon.profile_captures.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	secs := 5
+	if q := r.URL.Query().Get("seconds"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "seconds must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		secs = n
+	}
+	if secs > profileSecondsMax {
+		secs = profileSecondsMax
+	}
+	if !s.profiling.CompareAndSwap(false, true) {
+		http.Error(w, "a profile capture is already in progress", http.StatusConflict)
+		return
+	}
+	defer s.profiling.Store(false)
+
+	var cpu bytes.Buffer
+	startNS := time.Now().UnixNano()
+	if err := rtpprof.StartCPUProfile(&cpu); err != nil {
+		// Something else (net/http/pprof, a local tool) holds the profiler.
+		http.Error(w, "cpu profiler busy: "+err.Error(), http.StatusConflict)
+		return
+	}
+	select {
+	case <-time.After(time.Duration(secs) * time.Second):
+	case <-r.Context().Done():
+		// Client gave up: stop early and discard, freeing the profiler.
+		rtpprof.StopCPUProfile()
+		return
+	}
+	rtpprof.StopCPUProfile()
+
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	if f, err := zw.Create("cpu.pprof"); err == nil {
+		_, _ = f.Write(cpu.Bytes())
+	}
+	if s.opts.Flight != nil {
+		if f, err := zw.Create("flight.jsonl"); err == nil {
+			enc := json.NewEncoder(f)
+			for _, ev := range s.opts.Flight.Events() {
+				if ev.TS >= startNS {
+					_ = enc.Encode(ev)
+				}
+			}
+		}
+	}
+	if s.opts.Collector != nil {
+		if s.opts.Runtime != nil {
+			s.opts.Runtime.Sample(s.opts.Collector)
+		}
+		if f, err := zw.Create("metrics.prom"); err == nil {
+			_, _ = f.Write([]byte(s.opts.Collector.PromText()))
+		}
+		s.opts.Collector.Count("daemon.profile_captures", "", 1)
+	}
+	if err := zw.Close(); err != nil {
+		http.Error(w, "assembling bundle: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	w.Header().Set("Content-Disposition", `attachment; filename="profile-bundle.zip"`)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
