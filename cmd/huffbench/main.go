@@ -23,6 +23,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -31,6 +32,7 @@ import (
 
 	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/accel"
+	"github.com/huffduff/huffduff/internal/converge"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/obs"
@@ -45,14 +47,33 @@ type scenario struct {
 	run  func() (Metrics, error)
 }
 
-// benchEnv collects per-scenario side artifacts (attributed cost reports)
-// that do not belong in the gated metric record. Scenarios run sequentially,
-// so plain map writes are safe.
+// benchEnv collects per-scenario side artifacts (attributed cost reports,
+// convergence ledgers) that do not belong in the gated metric record.
+// Scenarios run sequentially, so plain map writes are safe.
 type benchEnv struct {
 	reports map[string]string // scenario name -> prof report text
+	// ledgerDir, when set, receives one <scenario>.ledger.jsonl convergence
+	// curve per attack scenario (the -ledger-dir CI artifact).
+	ledgerDir string
 }
 
 func newBenchEnv() *benchEnv { return &benchEnv{reports: map[string]string{}} }
+
+// writeLedger dumps one scenario's convergence ledger into env.ledgerDir.
+func (e *benchEnv) writeLedger(name string, led *converge.Ledger) error {
+	if e == nil || e.ledgerDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.ledgerDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(e.ledgerDir, name+".ledger.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return led.WriteJSONL(f)
+}
 
 // hotspotText renders every scenario's attributed cost report in
 // deterministic order, for the -hotspots artifact.
@@ -100,19 +121,32 @@ func attackScenario(env *benchEnv, name, model string, scale int, keep float64, 
 		cfg.Probe.Q = q
 		cfg.Probe.Seed = seed
 		cfg.Obs = col
+		led := converge.NewLedger(col)
+		cfg.Ledger = led
 		start := time.Now()
 		res, err := attack.Attack(m, cfg)
 		wall := time.Since(start).Seconds()
+		led.Close()
 		if err != nil {
 			return nil, err
 		}
+		if err := env.writeLedger(name, led); err != nil {
+			return nil, fmt.Errorf("%s: ledger artifact: %w", name, err)
+		}
 		dev := m.Campaign()
+		sum := led.Summary()
 		met := Metrics{
 			"wall_seconds":   wall,
 			"victim_queries": float64(dev.Runs),
 			"device_seconds": dev.SimulatedTime,
 			"device_cycles":  dev.SimulatedTime * acfg.ClockHz,
 			"solution_count": float64(res.Space.Count()),
+			// Convergence-ledger metrics: how small the solution space ended
+			// up, how many victim queries bought 90% of the collapse, and the
+			// interner's peak size (the VGG-S blowup guard).
+			"converge_log10_volume_final": sum.FinalLog10Volume,
+			"converge_queries_to_90pct":   float64(sum.QueriesTo90Pct),
+			"sym_peak_exprs":              float64(sum.PeakSymExprs),
 		}
 		rep := prof.BuildReport(col.Metrics(), wall, 12)
 		addStageMetrics(met, rep)
@@ -246,6 +280,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 		hotspots   = flag.String("hotspots", "", "write the per-scenario attributed cost reports to this file")
+		ledgerDir  = flag.String("ledger-dir", "", "write per-scenario convergence ledgers (<scenario>.ledger.jsonl) into this directory")
 	)
 	flag.Var(slow, "slow", "inject an artificial slowdown, scenario=factor (repeatable; gate self-test)")
 	flag.Parse()
@@ -266,6 +301,7 @@ func main() {
 	}
 
 	env := newBenchEnv()
+	env.ledgerDir = *ledgerDir
 	regressions, err := runBench(*out, scenarios(env), slow, !*noGate, *detOnly, log.Printf)
 	stopCPU()
 	cli.Check(err)

@@ -80,6 +80,13 @@ var rules = map[string]rule{
 	// wall/device is the simulator slowdown the fast-path work must cut; a
 	// loose host-noise threshold still catches a hot-loop regression.
 	"wall_device_ratio": {higherBetter: false, threshold: 2.5},
+	// Convergence-ledger metrics: the final solution-space volume and the
+	// query cost of 90% of the collapse depend only on the code path, as
+	// does the interner's peak size (which guards the VGG-S-style blowup;
+	// same slack as sym_interned_exprs for solve-schedule tweaks).
+	"converge_log10_volume_final": {higherBetter: false, threshold: 1.05, deterministic: true},
+	"converge_queries_to_90pct":   {higherBetter: false, threshold: 1.05, deterministic: true},
+	"sym_peak_exprs":              {higherBetter: false, threshold: 1.1, deterministic: true},
 }
 
 // ruleFor resolves the regression policy for a metric: exact rules first,

@@ -37,6 +37,7 @@ import (
 	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/chaos"
+	"github.com/huffduff/huffduff/internal/converge"
 	"github.com/huffduff/huffduff/internal/faults"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
@@ -73,6 +74,11 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace/Perfetto JSON span timeline to this file")
 		metricsOut = cli.MetricsOutFlag() // plus BENCH_attack.json alongside
 		verbose    = flag.Bool("v", false, "print the span tree, metric counters, and per-layer device telemetry")
+
+		progress    = flag.Bool("progress", false, "stream convergence-ledger snapshots to stderr as the attack runs")
+		ledgerOut   = flag.String("ledger-out", "", "write the convergence ledger as JSONL to this file")
+		symMaxExprs = flag.Int("sym-max-exprs", 0, "abort the solve if the symbolic interner exceeds this many expressions (0 = unlimited)")
+		symMaxBytes = flag.Int64("sym-max-bytes", 0, "abort the solve if the symbolic interner exceeds this many key bytes (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -128,6 +134,8 @@ func main() {
 	cfg.Probe.Q = *q
 	cfg.Probe.Seed = *seed
 	cfg.Probe.NoiseTolerant = *noiseOK
+	cfg.Probe.SymMaxExprs = *symMaxExprs
+	cfg.Probe.SymMaxBytes = *symMaxBytes
 	if *retries >= 0 {
 		cfg.Probe.MaxRetries = *retries
 	}
@@ -135,12 +143,61 @@ func main() {
 		cfg.Obs = col
 	}
 
+	var led *converge.Ledger
+	var progressDone chan struct{}
+	if *progress || *ledgerOut != "" {
+		// Don't wrap a nil *Collector in the Recorder interface: the ledger
+		// checks rec == nil, which a typed nil would evade.
+		var rec obs.Recorder
+		if col != nil {
+			rec = col
+		}
+		led = converge.NewLedger(rec)
+		cfg.Ledger = led
+	}
+	if *progress {
+		ch, _ := led.Subscribe()
+		progressDone = make(chan struct{})
+		go func() {
+			defer close(progressDone)
+			for s := range ch {
+				line := fmt.Sprintf("progress: seq=%d stage=%s queries=%d log10_volume=%.2f bits_eliminated=%.1f",
+					s.Seq, s.Stage, s.Queries, s.Log10Volume, s.BitsEliminated)
+				if s.GeomAmbiguity > 0 {
+					line += fmt.Sprintf(" geom_ambiguity=%d", s.GeomAmbiguity)
+				}
+				if s.SymExprs > 0 {
+					line += fmt.Sprintf(" sym_exprs=%d", s.SymExprs)
+				}
+				if s.Degraded {
+					line += " degraded"
+				}
+				if s.Done {
+					line += " done"
+				}
+				if s.Note != "" {
+					line += fmt.Sprintf(" note=%q", s.Note)
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}()
+	}
+
 	fmt.Printf("victim: %s (%.0f%% weights pruned)\n", arch.Name, 100*prune.OverallSparsity(bind.Net.Params()))
 	fmt.Printf("probing: T=%d trials x 4 families x Q=%d positions\n\n", *trials, *q)
 
 	res, err := attack.Attack(victim, cfg)
-	// Flush the trace and metrics even when the attack died — a failed
-	// campaign's timeline is exactly what the post-mortem needs.
+	// Flush the trace, metrics, and ledger even when the attack died — a
+	// failed campaign's timeline is exactly what the post-mortem needs.
+	if led != nil {
+		led.Close()
+		if progressDone != nil {
+			<-progressDone
+		}
+		if *ledgerOut != "" {
+			writeLedger(led, *ledgerOut)
+		}
+	}
 	flushObservability(col, machine, res, *traceOut, *metricsOut)
 	if err != nil {
 		if stage, ok := faults.StageOf(err); ok {
@@ -188,7 +245,20 @@ func main() {
 
 	sp := res.Space
 	if res.Degraded {
-		fmt.Printf("\nDEGRADED result: timing channel unusable (%s)\n", res.DegradedReason)
+		if sp.Partial {
+			fmt.Printf("\nDEGRADED result: solve aborted by the expression budget (%s)\n", res.DegradedReason)
+			if res.Probe != nil && len(res.Probe.Sites) > 0 {
+				fmt.Println("interner growth by call site (largest first):")
+				for i, st := range res.Probe.Sites {
+					if i == 5 {
+						break
+					}
+					fmt.Printf("  %-16s %8d exprs %10d key bytes\n", st.Site, st.Misses, st.Bytes)
+				}
+			}
+		} else {
+			fmt.Printf("\nDEGRADED result: timing channel unusable (%s)\n", res.DegradedReason)
+		}
 		fmt.Println("per-conv channel bounds from transfer headers + sparse bound:")
 		ids := make([]int, 0, len(sp.KBounds))
 		for id := range sp.KBounds {
@@ -242,6 +312,19 @@ type benchReport struct {
 	SimulatedDeviceSeconds float64 `json:"simulated_device_seconds"`
 	SolutionCount          int     `json:"solution_count"`
 	Degraded               bool    `json:"degraded"`
+}
+
+// writeLedger dumps the convergence ledger as JSONL.
+func writeLedger(led *converge.Ledger, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("ledger: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := led.WriteJSONL(f); err != nil {
+		log.Printf("ledger: write %s: %v", path, err)
+	}
 }
 
 // flushObservability writes the trace, metrics, and benchmark summary files

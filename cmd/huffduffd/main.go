@@ -103,13 +103,14 @@ func main() {
 		Campaigns: d,
 		Submitter: d,
 		Health:    d,
+		Progress:  d,
 		Runtime:   prof.NewRuntimeSampler(),
 	})
 
 	l, err := net.Listen("tcp", *addr)
 	cli.Check(err)
 	log.Printf("huffduffd listening on http://%s (%d workers, queue %d)", l.Addr(), *workers, *queue)
-	log.Printf("endpoints: /metrics /healthz /campaigns /events /debug/profile /debug/pprof/")
+	log.Printf("endpoints: /metrics /healthz /campaigns /campaigns/{id}/progress[/stream] /events /debug/profile /debug/pprof/")
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()

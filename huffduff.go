@@ -39,6 +39,7 @@ import (
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/adv"
 	"github.com/huffduff/huffduff/internal/chaos"
+	"github.com/huffduff/huffduff/internal/converge"
 	"github.com/huffduff/huffduff/internal/dataset"
 	"github.com/huffduff/huffduff/internal/dram"
 	"github.com/huffduff/huffduff/internal/faults"
@@ -202,7 +203,35 @@ var (
 	ErrTimingUnusable = faults.ErrTimingUnusable
 	// ErrBadConfig marks an invalid configuration; do not retry.
 	ErrBadConfig = faults.ErrBadConfig
+	// ErrSymBudget marks a solve aborted by the symbolic-expression budget
+	// (AttackConfig.Probe.SymMaxExprs/SymMaxBytes); the attack returns a
+	// Degraded partial solution space instead of exhausting memory. Do not
+	// retry without raising the budget.
+	ErrSymBudget = faults.ErrSymBudget
 )
+
+// Convergence observability: the solution-space collapse as a snapshot
+// stream.
+type (
+	// ConvergeLedger records one ConvergeSnapshot per query batch and
+	// solver stage; set it on AttackConfig.Ledger, then read the history
+	// (Snapshots, Latest, Summary), stream it (Subscribe), or export it
+	// (WriteJSONL). A nil ledger disables convergence tracking.
+	ConvergeLedger = converge.Ledger
+	// ConvergeSnapshot is one observation of the remaining solution space:
+	// pipeline stage, cumulative victim queries, log10 volume, per-layer
+	// candidate state, bits eliminated since the previous snapshot.
+	ConvergeSnapshot = converge.Snapshot
+	// ConvergeSummary condenses a finished ledger into the headline
+	// convergence metrics (final volume, queries to 90% collapse, peak
+	// interner size).
+	ConvergeSummary = converge.Summary
+)
+
+// NewConvergeLedger builds an empty convergence ledger; rec (optional,
+// may be nil) additionally receives each snapshot's headline numbers as
+// converge.* gauges.
+func NewConvergeLedger(rec ObsRecorder) *ConvergeLedger { return converge.NewLedger(rec) }
 
 // AttackStage extracts the pipeline stage ("calibration", "probe", "solve",
 // "geometry", "timing", "finalize") an attack error originated in.

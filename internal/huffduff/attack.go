@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
+	"github.com/huffduff/huffduff/internal/converge"
 	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prof"
@@ -58,6 +60,12 @@ type Config struct {
 	// attack goroutine; keep it cheap and non-blocking. Long-running
 	// services (cmd/huffduffd) use it to report live campaign state.
 	Progress func(stage string, done, total int)
+	// Ledger, when set, receives a convergence Snapshot after every
+	// knowledge-changing step: calibration, throttled probe progress, each
+	// scheduled solve, the timing channel, and finalization (including the
+	// degraded and budget-aborted paths, which append a final snapshot
+	// before returning). The ledger also counts every victim inference.
+	Ledger *converge.Ledger
 }
 
 // DefaultConfig matches the paper's evaluation setup: a clean simulated
@@ -180,8 +188,10 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	if cfg.Obs != nil {
 		ctx = obs.WithRecorder(ctx, cfg.Obs)
 	}
+	ctx = converge.WithLedger(ctx, cfg.Ledger)
 	ctx, root := obs.Start(ctx, "attack")
 	defer root.End()
+	hook := ledgerHook{led: cfg.Ledger, cfg: cfg}
 
 	fin := cfg.Finalize
 	// The solver's consistency filters and the finalizer must agree on the
@@ -209,6 +219,30 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 		return nil, faults.Stage("calibration", err)
 	}
 	res.Graph = g
+	hook.g = g
+	hook.snap("calibrate", nil, nil, nil, nil, nil)
+
+	// Ledger probe snapshots: the per-position callback fires thousands of
+	// times per campaign, so snapshots are throttled to ~8 per probe stage
+	// (plus the final position). The volume is flat here — probing gathers
+	// evidence, the solve spends it — which is exactly what the queries-vs-
+	// volume curve should show.
+	if cfg.Ledger != nil {
+		prev := cfg.Probe.Progress
+		hk := hook
+		cfg.Probe.Progress = func(done, total int) {
+			if prev != nil {
+				prev(done, total)
+			}
+			step := total / 8
+			if step < 1 {
+				step = 1
+			}
+			if done%step == 0 || done == total {
+				hk.snap("probe", nil, nil, nil, nil, nil)
+			}
+		}
+	}
 
 	// 2. Probing campaign.
 	pctx, endProbe := stage(ctx, "probe")
@@ -225,6 +259,26 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	sctx, endSolve := stage(ctx, "solve")
 	pr, conv, serr := solveConverged(sctx, data, cfg)
 	endSolve()
+	if serr != nil && pr != nil && pr.Partial && errors.Is(serr, faults.ErrSymBudget) {
+		// The sym watchdog aborted the solve: escalation would re-collect
+		// only to blow the same budget again, so salvage what the solved
+		// prefix pins — a partial, degraded solution space — and finish
+		// with a complete ledger instead of an OOM.
+		res.Data, res.Probe = data, pr
+		fctx, endFin := stage(ctx, "finalize")
+		space := FinalizePartial(g, pr, fin)
+		res.Space = space
+		res.Degraded = true
+		res.DegradedReason = serr.Error()
+		res.recordSpace(fctx)
+		note := serr.Error()
+		hook.snap("finalize", pr, nil, space, nil, func(s *converge.Snapshot) {
+			s.Done = true
+			s.Note = note
+		})
+		endFin()
+		return res, nil
+	}
 	if serr != nil && cfg.EscalateNoiseTolerant && !cfg.Probe.NoiseTolerant {
 		ncfg := cfg.Probe
 		ncfg.NoiseTolerant = true
@@ -269,6 +323,9 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 		res.Timing, terr = TimingChannel(g, dims, cfg.BlockBytes)
 	}
 	res.Timing.Record(obs.RecorderFrom(ctx))
+	if terr == nil {
+		hook.snap("timing", pr, res.Timing, nil, conv.confidence, nil)
+	}
 	endTiming()
 
 	// 6. Solution space, with graceful degradation when the timing channel
@@ -280,6 +337,9 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 		if ferr == nil {
 			res.Space = space
 			res.recordSpace(fctx)
+			hook.snap("finalize", pr, res.Timing, space, conv.confidence, func(s *converge.Snapshot) {
+				s.Done = true
+			})
 			return res, nil
 		}
 		if !cfg.DegradeOnTimingFault {
@@ -289,6 +349,12 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	} else if !cfg.DegradeOnTimingFault || !errors.Is(terr, faults.ErrTimingUnusable) {
 		return nil, faults.Stage("timing", terr)
 	}
+	// Degraded path: report it through the same progress/ledger hooks as
+	// every other stage so degraded campaigns stay observable (operators
+	// see *why* the space got wider, not just that finalize ran twice).
+	if cfg.Progress != nil {
+		cfg.Progress("finalize_degraded", 0, 0)
+	}
 	space, derr := FinalizeDegraded(g, pr, dims, fin)
 	if derr != nil {
 		return nil, faults.Stage("finalize", fmt.Errorf("degraded fallback after %v: %w", terr, derr))
@@ -297,6 +363,12 @@ func AttackContext(ctx context.Context, victim Victim, cfg Config) (*Result, err
 	res.Degraded = true
 	res.DegradedReason = terr.Error()
 	res.recordSpace(fctx)
+	note := terr.Error()
+	hook.snap("finalize_degraded", pr, nil, space, conv.confidence, func(s *converge.Snapshot) {
+		s.Done = true
+		s.Degraded = true
+		s.Note = note
+	})
 	return res, nil
 }
 
@@ -437,6 +509,7 @@ func solveConverged(ctx context.Context, data *ProbeData, cfg Config) (*ProbeRes
 	}
 	schedule = append(schedule, total)
 
+	hook := ledgerHook{led: cfg.Ledger, g: data.Graph, cfg: cfg}
 	results := make([]*ProbeResult, len(schedule))
 	var lastErr error
 	for i, t := range schedule {
@@ -445,9 +518,22 @@ func solveConverged(ctx context.Context, data *ProbeData, cfg Config) (*ProbeRes
 		pr, err := data.Solve(t)
 		if err != nil {
 			lastErr = err
+			if pr != nil && pr.Partial && errors.Is(err, faults.ErrSymBudget) {
+				// Budget abort: a later solve with more trials would only
+				// blow the budget sooner. Snapshot the partial knowledge
+				// and surface it to the caller's salvage path.
+				note := err.Error()
+				hook.snap("solve", pr, nil, nil, nil, func(s *converge.Snapshot) {
+					s.Note = note
+				})
+				sp.End()
+				return pr, convergence{}, err
+			}
 			sp.End()
 			continue
 		}
+		note := fmt.Sprintf("trials=%d", t)
+		hook.snap("solve", pr, nil, nil, nil, func(s *converge.Snapshot) { s.Note = note })
 		obs.Gauge(ictx, "solve.ambiguity", fmt.Sprintf("trials=%d", t), float64(solveAmbiguity(pr)))
 		// Interner cost attribution: each scheduled solve builds a fresh
 		// engine, so the per-solve expression count and hit rate localize
@@ -508,9 +594,17 @@ func solveConverged(ctx context.Context, data *ProbeData, cfg Config) (*ProbeRes
 // how many architectures one solve left indistinguishable.
 func solveAmbiguity(pr *ProbeResult) int {
 	const ambCap = 1 << 30
+	// Sorted node order: once the product saturates the cap, the value
+	// depends on multiplication order, and this number lands in the
+	// convergence-ledger JSONL that must not differ between identical runs.
+	ids := make([]int, 0, len(pr.Candidates))
+	for id := range pr.Candidates {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	amb := 1
-	for _, cands := range pr.Candidates {
-		if n := len(cands); n > 1 && amb < ambCap {
+	for _, id := range ids {
+		if n := len(pr.Candidates[id]); n > 1 && amb < ambCap {
 			amb *= n
 		}
 	}

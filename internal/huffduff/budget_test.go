@@ -1,0 +1,105 @@
+package huffduff
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/converge"
+	"github.com/huffduff/huffduff/internal/faults"
+	"github.com/huffduff/huffduff/internal/models"
+)
+
+// TestSymBudgetAbortsToPartialSpace is the watchdog acceptance test: with a
+// symbolic-expression budget far too small for even the first conv layer,
+// the attack must not panic or grow without bound — it aborts the solve,
+// salvages whatever geometry was pinned into a Partial degraded solution
+// space, and leaves a complete convergence ledger ending in a Done snapshot
+// that names the budget abort.
+func TestSymBudgetAbortsToPartialSpace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full attack campaign; the race-instrumented simulator is an order of magnitude slower")
+	}
+	m, _ := deployVictim(t, models.SmallCNN(), 1)
+	cfg := DefaultConfig()
+	cfg.Probe.SymMaxExprs = 100
+	led := converge.NewLedger(nil)
+	cfg.Ledger = led
+	res, err := Attack(m, cfg)
+	if err != nil {
+		t.Fatalf("budget abort must degrade, not fail: %v", err)
+	}
+	if !res.Degraded || res.DegradedReason == "" {
+		t.Fatalf("result not marked degraded: %+v", res)
+	}
+	if !strings.Contains(res.DegradedReason, "budget") {
+		t.Fatalf("DegradedReason does not name the budget: %q", res.DegradedReason)
+	}
+	if res.Space == nil || !res.Space.Partial || !res.Space.Degraded {
+		t.Fatalf("space not partial+degraded: %+v", res.Space)
+	}
+	if res.Probe == nil || !res.Probe.Partial {
+		t.Fatal("probe result not marked partial")
+	}
+	if len(res.Probe.Sites) == 0 {
+		t.Fatal("budget abort carries no per-site growth attribution")
+	}
+	if res.Probe.Sym.Exprs == 0 {
+		t.Fatal("partial probe result lost interner stats")
+	}
+
+	snaps := led.Snapshots()
+	if len(snaps) < 2 {
+		t.Fatalf("ledger has %d snapshots, want calibrate + probe + abort trail", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Done || !last.Degraded || !last.Partial {
+		t.Fatalf("final snapshot flags: %+v", last)
+	}
+	if !strings.Contains(last.Note, "budget") {
+		t.Fatalf("final snapshot note does not name the budget abort: %q", last.Note)
+	}
+	if last.Queries == 0 {
+		t.Fatal("final snapshot lost the victim-query count")
+	}
+	for _, s := range snaps {
+		if !s.VolumeKnown {
+			t.Fatalf("snapshot %d (stage %s) has no volume accounting", s.Seq, s.Stage)
+		}
+	}
+	// A budget abort still shows collapse bookkeeping: the partial space is
+	// no larger than the initial one.
+	if last.Log10Volume > snaps[0].Log10Volume {
+		t.Fatalf("volume grew across the abort: %v -> %v", snaps[0].Log10Volume, last.Log10Volume)
+	}
+}
+
+// TestSymBudgetErrorClass checks the taxonomy plumbing: a watchdog abort
+// wraps faults.ErrSymBudget, classifies as "budget", and is not retryable
+// (re-running the identical solve would blow the identical budget).
+func TestSymBudgetErrorClass(t *testing.T) {
+	err := fmt.Errorf("huffduff: solve aborted by watchdog: boom: %w", faults.ErrSymBudget)
+	if !errors.Is(err, faults.ErrSymBudget) {
+		t.Fatalf("error does not wrap ErrSymBudget: %v", err)
+	}
+	if got := faults.Class(err); got != faults.ClassBudget {
+		t.Fatalf("faults.Class = %q, want %q", got, faults.ClassBudget)
+	}
+	if faults.Retryable(err) {
+		t.Fatal("budget aborts must not be retryable")
+	}
+}
+
+func TestNegativeSymBudgetRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Probe.SymMaxExprs = -1
+	if err := cfg.Probe.Validate(); err == nil {
+		t.Fatal("negative expression budget accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Probe.SymMaxBytes = -1
+	if err := cfg.Probe.Validate(); err == nil {
+		t.Fatal("negative byte budget accepted")
+	}
+}

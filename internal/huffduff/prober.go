@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/huffduff/huffduff/internal/converge"
 	"github.com/huffduff/huffduff/internal/faults"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/probe"
@@ -83,6 +84,12 @@ type ProbeConfig struct {
 	// (Trials × families × Q). It runs on the collection goroutine between
 	// victim inferences — keep it cheap and non-blocking.
 	Progress func(done, total int)
+	// SymMaxExprs/SymMaxBytes arm the symbolic interner's growth watchdog
+	// for the solve: past either limit (0 = unlimited) the solve aborts
+	// into a partial ProbeResult with per-site growth attribution instead
+	// of growing toward OOM. The error wraps faults.ErrSymBudget.
+	SymMaxExprs int
+	SymMaxBytes int64
 }
 
 // DefaultProbeConfig returns the configuration used in the evaluation.
@@ -146,6 +153,9 @@ func (cfg ProbeConfig) Validate() error {
 	}
 	if cfg.MaxRetries < 0 || cfg.RetryBackoff < 0 {
 		return bad("negative retry budget (MaxRetries=%d, RetryBackoff=%v)", cfg.MaxRetries, cfg.RetryBackoff)
+	}
+	if cfg.SymMaxExprs < 0 || cfg.SymMaxBytes < 0 {
+		return bad("negative sym budget (SymMaxExprs=%d, SymMaxBytes=%d)", cfg.SymMaxExprs, cfg.SymMaxBytes)
 	}
 	if cfg.Consistency != nil {
 		return cfg.Consistency.Validate()
@@ -228,6 +238,7 @@ func runObserved(ctx context.Context, victim Victim, img *tensor.Tensor, cfg Pro
 	rec := obs.RecorderFrom(ctx)
 	runOnce := func() ([]trace.SegmentObs, error) {
 		obs.Count(ctx, "victim.inferences", "", 1)
+		converge.FromContext(ctx).AddQueries(1)
 		var runStart time.Time
 		if rec != nil {
 			runStart = time.Now()
@@ -624,6 +635,12 @@ type ProbeResult struct {
 	// solver's cost attribution — a VGG-S-style expression blowup is visible
 	// here long before the process runs out of memory.
 	Sym sym.Stats
+	// Partial marks a solve aborted by the sym budget watchdog: the maps
+	// above hold whatever prefix of the graph had been assigned when the
+	// budget blew, and Sites attributes the interner growth per expression
+	// family (largest first).
+	Partial bool
+	Sites   []sym.SiteStats
 }
 
 // solver carries the state of the backtracking geometry search.
@@ -950,7 +967,7 @@ func (s *solver) solveFrom(i int) bool {
 // (keeping refinements — the one-sided error — and preferring exact
 // matches), and prunes assignments that violate residual-dimension,
 // weight-capacity, transfer-header, or timing consistency (§7).
-func (pd *ProbeData) Solve(trials int) (*ProbeResult, error) {
+func (pd *ProbeData) Solve(trials int) (res *ProbeResult, err error) {
 	if trials < 1 || trials > pd.Cfg.Trials {
 		return nil, fmt.Errorf("huffduff: %d trials requested, %d collected", trials, pd.Cfg.Trials)
 	}
@@ -967,6 +984,34 @@ func (pd *ProbeData) Solve(trials int) (*ProbeResult, error) {
 		outH:     map[int]int{},
 		psumH:    map[int]int{},
 	}
+	if pd.Cfg.SymMaxExprs > 0 || pd.Cfg.SymMaxBytes > 0 {
+		s.eng.In.SetBudget(pd.Cfg.SymMaxExprs, pd.Cfg.SymMaxBytes)
+		// The watchdog aborts via panic from deep inside the backtracking
+		// search; recover it into a partial result carrying whatever prefix
+		// of the graph had been assigned, plus the per-site attribution that
+		// names the expression family that exploded.
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			be, ok := r.(*sym.BudgetExceeded)
+			if !ok {
+				panic(r)
+			}
+			res = &ProbeResult{
+				Geoms:       s.geom,
+				Candidates:  s.cand,
+				PoolFactors: s.pools,
+				Exact:       s.exact,
+				TrialsUsed:  trials,
+				Sym:         s.eng.In.Stats(),
+				Partial:     true,
+				Sites:       s.eng.In.Sites(),
+			}
+			err = fmt.Errorf("huffduff: solve aborted by watchdog: %v: %w", be, faults.ErrSymBudget)
+		}()
+	}
 	if !s.solveFrom(0) {
 		return nil, fmt.Errorf("huffduff: no consistent geometry assignment: %s", s.failNote)
 	}
@@ -977,6 +1022,7 @@ func (pd *ProbeData) Solve(trials int) (*ProbeResult, error) {
 		Exact:       s.exact,
 		TrialsUsed:  trials,
 		Sym:         s.eng.In.Stats(),
+		Sites:       s.eng.In.Sites(),
 	}, nil
 }
 

@@ -38,6 +38,14 @@ var obsMethodNames = map[string]bool{
 	"Observe": true,
 }
 
+// convergeMethodNames are the internal/converge Ledger entry points that
+// feed the ordered snapshot stream (JSONL artifacts, the progress endpoints,
+// and the converge.* metric family); appending from inside a map-range loop
+// randomizes the stream between identical runs.
+var convergeMethodNames = map[string]bool{
+	"Append": true,
+}
+
 // writePkgFuncs are package-level functions that emit ordered output.
 var writePkgFuncs = map[string]bool{
 	"fmt.Fprint":     true,
@@ -149,6 +157,9 @@ func orderedWriteCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	}
 	if obsMethodNames[name] && strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
 		return "obs." + name, true
+	}
+	if convergeMethodNames[name] && strings.HasSuffix(obj.Pkg().Path(), "internal/converge") {
+		return "converge." + name, true
 	}
 	return "", false
 }

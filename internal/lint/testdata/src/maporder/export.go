@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"github.com/huffduff/huffduff/internal/converge"
 )
 
 // BadKeys leaks iteration order into a slice that is never sorted.
@@ -59,4 +61,24 @@ func OKMapToMap(m map[string]int) map[string]int {
 		out[k] = v
 	}
 	return out
+}
+
+// BadLedgerAppend streams map iteration order into the convergence ledger,
+// randomizing the snapshot JSONL between identical runs.
+func BadLedgerAppend(led *converge.Ledger, m map[int]int) {
+	for node, amb := range m {
+		led.Append(converge.Snapshot{Stage: "solve", GeomAmbiguity: node + amb})
+	}
+}
+
+// OKLedgerAppendSorted appends in sorted node order.
+func OKLedgerAppendSorted(led *converge.Ledger, m map[int]int) {
+	nodes := make([]int, 0, len(m))
+	for n := range m {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		led.Append(converge.Snapshot{Stage: "solve", GeomAmbiguity: m[n]})
+	}
 }

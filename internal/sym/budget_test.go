@@ -1,0 +1,130 @@
+package sym
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// mustPanicBudget runs f and returns the *BudgetExceeded it panics with,
+// failing the test if f returns normally or panics with something else.
+func mustPanicBudget(t *testing.T, f func()) *BudgetExceeded {
+	t.Helper()
+	var be *BudgetExceeded
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("interning past the budget did not panic")
+			}
+			var ok bool
+			be, ok = r.(*BudgetExceeded)
+			if !ok {
+				t.Fatalf("panic value is %T, want *BudgetExceeded", r)
+			}
+		}()
+		f()
+	}()
+	return be
+}
+
+func TestBudgetExprLimit(t *testing.T) {
+	in := NewInterner()
+	in.SetBudget(4, 0) // Zero+One already hold 2 slots
+	in.SetSite("layerA")
+	in.Var("a")
+	in.Var("b") // 4 exprs: at the limit, not past it
+	be := mustPanicBudget(t, func() { in.Var("c") })
+	if be.Site != "layerA" || be.Exprs != 5 || be.MaxExprs != 4 {
+		t.Fatalf("BudgetExceeded = %+v", be)
+	}
+	if be.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestBudgetByteLimit(t *testing.T) {
+	in := NewInterner()
+	in.SetBudget(0, 16)
+	in.SetSite("bytes")
+	mustPanicBudget(t, func() {
+		for i := 0; i < 100; i++ {
+			in.Var(fmt.Sprintf("longvariablename%d", i))
+		}
+	})
+}
+
+func TestBudgetHitsDoNotCount(t *testing.T) {
+	in := NewInterner()
+	in.Var("x") // 3 exprs
+	in.SetBudget(3, 0)
+	// Re-interning existing expressions is free: only new materializations
+	// can blow the budget.
+	for i := 0; i < 1000; i++ {
+		in.Var("x")
+		in.Zero()
+		in.One()
+	}
+	if in.NumExprs() != 3 {
+		t.Fatalf("NumExprs = %d", in.NumExprs())
+	}
+	mustPanicBudget(t, func() { in.Var("y") })
+}
+
+func TestUnbudgetedInternerNeverPanics(t *testing.T) {
+	in := NewInterner()
+	in.SetSite("ignored") // site without budget is inert
+	for i := 0; i < 10000; i++ {
+		in.Var(fmt.Sprintf("v%d", i))
+	}
+	if got := in.Sites(); len(got) != 0 {
+		t.Fatalf("unbudgeted interner attributed sites: %v", got)
+	}
+}
+
+func TestSiteAttribution(t *testing.T) {
+	in := NewInterner()
+	in.SetBudget(1000000, 0)
+	in.SetSite("conv1")
+	in.Var("a")
+	in.Var("b")
+	in.Var("c")
+	in.SetSite("conv2")
+	in.Var("d")
+
+	sites := in.Sites()
+	if len(sites) != 2 {
+		t.Fatalf("Sites = %v", sites)
+	}
+	// Largest first.
+	if sites[0].Site != "conv1" || sites[0].Misses != 3 {
+		t.Fatalf("top site = %+v", sites[0])
+	}
+	if sites[1].Site != "conv2" || sites[1].Misses != 1 {
+		t.Fatalf("second site = %+v", sites[1])
+	}
+	if sites[0].Bytes <= 0 {
+		t.Fatal("site byte attribution missing")
+	}
+}
+
+func TestSitesDeterministicTieBreak(t *testing.T) {
+	in := NewInterner()
+	in.SetBudget(1000000, 0)
+	in.SetSite("zeta")
+	in.Var("a")
+	in.SetSite("alpha")
+	in.Var("b")
+	sites := in.Sites()
+	if len(sites) != 2 || sites[0].Site != "alpha" || sites[1].Site != "zeta" {
+		t.Fatalf("tie break not by site name: %v", sites)
+	}
+}
+
+func TestBudgetExceededIsError(t *testing.T) {
+	var err error = &BudgetExceeded{Site: "s", Exprs: 10, MaxExprs: 5}
+	var be *BudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatal("errors.As failed on *BudgetExceeded")
+	}
+}

@@ -13,6 +13,7 @@
 package sym
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,6 +56,83 @@ type Interner struct {
 	// are the raw material for the solver's cost attribution (a VGG-S solve
 	// is "interner-bound" exactly when misses explode; see ROADMAP).
 	hits, misses uint64
+	// bytes approximates retained memory as the sum of interned key bytes
+	// (the index map keys dominate a blown-up interner).
+	bytes int64
+	// Growth watchdog (SetBudget). A solve that would intern past either
+	// limit panics with *BudgetExceeded instead of growing toward OOM; the
+	// prober recovers the panic into a partial result. site is the current
+	// caller attribution label (SetSite) and siteMisses — allocated only
+	// when a budget is armed, so the unbudgeted hot path pays nothing —
+	// attributes new expressions to the call site that built them.
+	maxExprs   int
+	maxBytes   int64
+	site       string
+	siteMisses map[string]*siteCount
+}
+
+type siteCount struct {
+	misses int
+	bytes  int64
+}
+
+// BudgetExceeded is the panic value thrown by intern when a SetBudget limit
+// is crossed. It implements error; Site names the attribution label that was
+// active when the budget blew (for a conv engine, the layer tag whose
+// expression family exploded).
+type BudgetExceeded struct {
+	Site     string
+	Exprs    int
+	Bytes    int64
+	MaxExprs int
+	MaxBytes int64
+}
+
+// Error implements the error interface.
+func (e *BudgetExceeded) Error() string {
+	return fmt.Sprintf("sym: expression budget exceeded at site %q: %d exprs (max %d), %d key bytes (max %d)",
+		e.Site, e.Exprs, e.MaxExprs, e.Bytes, e.MaxBytes)
+}
+
+// SetBudget arms the growth watchdog: interning more than maxExprs distinct
+// expressions or more than maxBytes of key bytes panics with
+// *BudgetExceeded. A zero limit means unlimited on that axis; arming any
+// budget also enables per-site miss attribution (Sites).
+func (in *Interner) SetBudget(maxExprs int, maxBytes int64) {
+	in.maxExprs = maxExprs
+	in.maxBytes = maxBytes
+	if in.siteMisses == nil && (maxExprs > 0 || maxBytes > 0) {
+		in.siteMisses = make(map[string]*siteCount)
+	}
+}
+
+// SetSite labels subsequent interning with the given call-site attribution
+// key (e.g. the symbolic conv engine's per-layer tag). Cheap enough for
+// per-layer granularity; a site sticks until the next SetSite.
+func (in *Interner) SetSite(site string) { in.site = site }
+
+// SiteStats is one call site's share of interner growth.
+type SiteStats struct {
+	Site   string
+	Misses int
+	Bytes  int64
+}
+
+// Sites returns per-site growth attribution, largest first (ties broken by
+// site name for determinism). Empty unless a budget was armed before the
+// growth happened.
+func (in *Interner) Sites() []SiteStats {
+	out := make([]SiteStats, 0, len(in.siteMisses))
+	for site, c := range in.siteMisses {
+		out = append(out, SiteStats{Site: site, Misses: c.misses, Bytes: c.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Misses != out[j].Misses {
+			return out[i].Misses > out[j].Misses
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
 }
 
 // NewInterner returns an interner pre-seeded with Zero and One.
@@ -113,6 +191,23 @@ func (in *Interner) intern(n node) ID {
 	id := ID(len(in.nodes))
 	in.nodes = append(in.nodes, n)
 	in.index[string(in.kbuf)] = id
+	in.bytes += int64(len(in.kbuf))
+	if in.siteMisses != nil {
+		c := in.siteMisses[in.site]
+		if c == nil {
+			c = &siteCount{}
+			in.siteMisses[in.site] = c
+		}
+		c.misses++
+		c.bytes += int64(len(in.kbuf))
+		if (in.maxExprs > 0 && len(in.nodes) > in.maxExprs) ||
+			(in.maxBytes > 0 && in.bytes > in.maxBytes) {
+			panic(&BudgetExceeded{
+				Site: in.site, Exprs: len(in.nodes), Bytes: in.bytes,
+				MaxExprs: in.maxExprs, MaxBytes: in.maxBytes,
+			})
+		}
+	}
 	return id
 }
 

@@ -1,0 +1,111 @@
+package symconv
+
+import "testing"
+
+func TestClassPattern(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []int
+		want []int
+	}{
+		{"empty", nil, []int{}},
+		{"single", []int{7}, []int{0}},
+		{"single class", []int{5, 5, 5}, []int{0, 0, 0}},
+		{"abcc", []int{9, 4, 2, 2}, []int{0, 1, 2, 2}},
+		{"first occurrence orders classes", []int{3, 1, 3, 1}, []int{0, 1, 0, 1}},
+	}
+	for _, c := range cases {
+		got := ClassPattern(c.vals)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: ClassPattern = %v, want %v", c.name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: ClassPattern = %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+}
+
+func TestClassPatternGenericOverStrings(t *testing.T) {
+	got := ClassPattern([]string{"x", "y", "x"})
+	want := []int{0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ClassPattern(strings) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRefinesTable(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q []int
+		want bool
+	}{
+		{"empty refines empty", []int{}, []int{}, true},
+		{"equal partitions", []int{0, 1, 1}, []int{0, 1, 1}, true},
+		{"strictly finer", []int{0, 1, 2}, []int{0, 1, 1}, true},
+		{"strictly coarser", []int{0, 1, 1}, []int{0, 1, 2}, false},
+		{"single class refines nothing finer", []int{0, 0, 0}, []int{0, 0, 1}, false},
+		{"everything refines single class", []int{0, 1, 2}, []int{0, 0, 0}, true},
+		{"length mismatch", []int{0, 1}, []int{0, 1, 1}, false},
+		{"incomparable", []int{0, 0, 1}, []int{0, 1, 1}, false},
+		{"labels irrelevant", []int{5, 5, 9}, []int{1, 1, 0}, true},
+	}
+	for _, c := range cases {
+		if got := Refines(c.p, c.q); got != c.want {
+			t.Errorf("%s: Refines(%v, %v) = %v, want %v", c.name, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSamePartition(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q []int
+		want bool
+	}{
+		{"empty", []int{}, []int{}, true},
+		{"identical", []int{0, 1, 1}, []int{0, 1, 1}, true},
+		{"relabelled", []int{0, 1, 1}, []int{1, 0, 0}, true},
+		{"finer is not same", []int{0, 1, 2}, []int{0, 1, 1}, false},
+		{"single class both", []int{0, 0}, []int{3, 3}, true},
+		{"length mismatch", []int{0}, []int{0, 0}, false},
+	}
+	for _, c := range cases {
+		if got := SamePartition(c.p, c.q); got != c.want {
+			t.Errorf("%s: SamePartition(%v, %v) = %v, want %v", c.name, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	cases := []struct {
+		p    []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{0}, 1},
+		{[]int{0, 0, 0}, 1},
+		{[]int{0, 1, 2, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := NumClasses(c.p); got != c.want {
+			t.Errorf("NumClasses(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if got := PatternString([]int{0, 1, 2, 2}); got != "ABCC" {
+		t.Fatalf("PatternString = %q, want ABCC", got)
+	}
+	if got := PatternString(nil); got != "" {
+		t.Fatalf("PatternString(nil) = %q, want empty", got)
+	}
+	// Classes past Z render as explicit indices rather than wrapping.
+	if got := PatternString([]int{26}); got != "<26>" {
+		t.Fatalf("PatternString([26]) = %q", got)
+	}
+}

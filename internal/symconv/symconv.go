@@ -78,6 +78,10 @@ func (e *Engine) ProbeGrids(p probe.Pattern, h, w int) []Grid {
 // equivalence classes the engine predicts (§5.2 shows how the numeric side
 // separates them).
 func (e *Engine) Conv(g Grid, tag string, kernel, stride int) Grid {
+	// Attribute interner growth to this layer hypothesis: when the sym
+	// budget watchdog aborts a runaway solve, the panic names the tag of
+	// the expression family that exploded.
+	e.In.SetSite(tag)
 	pad := (kernel - 1) / 2
 	oh := (g.H+2*pad-kernel)/stride + 1
 	ow := (g.W+2*pad-kernel)/stride + 1
@@ -119,6 +123,7 @@ func (e *Engine) MaxPool(g Grid, window int) Grid {
 	if window <= 1 {
 		return g
 	}
+	e.In.SetSite(fmt.Sprintf("maxpool%d", window))
 	oh, ow := g.H/window, g.W/window
 	out := Grid{H: oh, W: ow, Cells: make([]sym.ID, oh*ow)}
 	args := make([]sym.ID, 0, window*window)
@@ -142,6 +147,7 @@ func (e *Engine) AvgPool(g Grid, window int) Grid {
 	if window <= 1 {
 		return g
 	}
+	e.In.SetSite(fmt.Sprintf("avgpool%d", window))
 	oh, ow := g.H/window, g.W/window
 	out := Grid{H: oh, W: ow, Cells: make([]sym.ID, oh*ow)}
 	terms := make([]sym.Term, 0, window*window)

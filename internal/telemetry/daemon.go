@@ -18,6 +18,7 @@ import (
 
 	"github.com/huffduff/huffduff/internal/accel"
 	"github.com/huffduff/huffduff/internal/chaos"
+	"github.com/huffduff/huffduff/internal/converge"
 	"github.com/huffduff/huffduff/internal/faults"
 	attack "github.com/huffduff/huffduff/internal/huffduff"
 	"github.com/huffduff/huffduff/internal/models"
@@ -140,6 +141,12 @@ type campaign struct {
 	mu      sync.Mutex
 	snap    CampaignSnapshot
 	machine *accel.Machine // set once running; its stats are lock-protected
+	// ledger is the campaign's convergence ledger, created at submission
+	// (or restore) and closed when the campaign reaches a terminal state —
+	// it stays open across retries, so a retried campaign's stream shows
+	// the full history. The Ledger type is internally synchronized; the
+	// pointer itself is written once before the campaign is published.
+	ledger *converge.Ledger
 	// queuedSlot marks a campaign occupying an externally-submitted queue
 	// slot (backpressure accounting); requeues and retries do not count
 	// against QueueDepth. Guarded by Daemon.mu.
@@ -327,7 +334,11 @@ func (d *Daemon) restore(replayed []ReplayedCampaign) []*campaign {
 			Attempts:  rc.Attempts,
 			Resumed:   true,
 		}}
+		c.ledger = converge.NewLedger(d.cfg.Recorder)
 		if rc.Terminal() {
+			// The in-memory convergence history died with the old process;
+			// a restored terminal campaign serves an empty, closed ledger.
+			c.ledger.Close()
 			if rc.State == StateFailed {
 				c.snap.Error, c.snap.ErrorClass = rc.Error, rc.Class
 			} else {
@@ -380,6 +391,7 @@ func (d *Daemon) Submit(spec JobSpec) (CampaignSnapshot, error) {
 			State:     StateQueued,
 			Submitted: now,
 		},
+		ledger:     converge.NewLedger(d.cfg.Recorder),
 		queuedSlot: true,
 	}
 	select {
@@ -442,6 +454,20 @@ func (d *Daemon) CampaignByID(id int) (CampaignSnapshot, bool) {
 		return CampaignSnapshot{}, false
 	}
 	return c.snapshot(), true
+}
+
+// ProgressLedger returns a campaign's convergence ledger for the progress
+// endpoints. The ledger exists from submission (empty until the attack's
+// first snapshot) and is closed — ending any streams — when the campaign
+// reaches a terminal state.
+func (d *Daemon) ProgressLedger(id int) (*converge.Ledger, bool) {
+	d.mu.Lock()
+	c, ok := d.byID[id]
+	d.mu.Unlock()
+	if !ok || c.ledger == nil {
+		return nil, false
+	}
+	return c.ledger, true
 }
 
 // Health is the liveness/readiness view /healthz serves.
@@ -642,6 +668,7 @@ func (d *Daemon) finishDone(c *campaign, res *attack.Result, started, finished t
 		s.Degraded = res.Degraded
 		s.VictimRetries = res.VictimRetries
 	})
+	c.ledger.Close()
 	snap := c.snapshot()
 	d.journalState(snap.ID, StateChange{
 		State:     StateDone,
@@ -665,6 +692,7 @@ func (d *Daemon) finishFailed(c *campaign, err error, class string, started, fin
 		s.Error = err.Error()
 		s.ErrorClass = class
 	})
+	c.ledger.Close()
 	snap := c.snapshot()
 	d.journalState(snap.ID, StateChange{
 		State: StateFailed, Attempt: snap.Attempts, Error: snap.Error, Class: class,
@@ -795,6 +823,7 @@ func (d *Daemon) attack(ctx context.Context, c *campaign, spec JobSpec) (*attack
 	cfg.Probe.Q = spec.Q
 	cfg.Probe.Seed = spec.Seed
 	cfg.Obs = d.cfg.Recorder
+	cfg.Ledger = c.ledger
 	cfg.Progress = func(stage string, done, total int) {
 		c.update(func(s *CampaignSnapshot) {
 			s.Stage = stage

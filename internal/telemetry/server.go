@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/huffduff/huffduff/internal/converge"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prof"
 )
@@ -38,6 +39,12 @@ type HealthSource interface {
 	Health() Health
 }
 
+// ProgressSource resolves a campaign's convergence ledger for the
+// /campaigns/{id}/progress endpoints. *Daemon implements it.
+type ProgressSource interface {
+	ProgressLedger(id int) (*converge.Ledger, bool)
+}
+
 // ServerOptions wires the telemetry server to its data sources. Every field
 // is optional: a missing source turns the corresponding endpoint into a
 // 404/empty response rather than a crash.
@@ -53,6 +60,9 @@ type ServerOptions struct {
 	// Health backs /healthz: "ok" (200), "degraded" (200, journal failing),
 	// or "draining" (503, so load-balancers stop routing to a dying node).
 	Health HealthSource
+	// Progress backs GET /campaigns/{id}/progress (latest convergence
+	// snapshot) and /campaigns/{id}/progress/stream (incremental JSONL).
+	Progress ProgressSource
 	// Runtime, when set alongside Collector, refreshes Go runtime gauges
 	// (goroutines, heap bytes, GC cycles, GC pause histogram) into the
 	// Collector on every /metrics scrape.
@@ -284,21 +294,92 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
-	if s.opts.Campaigns == nil {
-		http.NotFound(w, r)
-		return
-	}
-	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/campaigns/"))
+	rest := strings.TrimPrefix(r.URL.Path, "/campaigns/")
+	idPart, sub, _ := strings.Cut(rest, "/")
+	id, err := strconv.Atoi(idPart)
 	if err != nil {
 		http.Error(w, "campaign IDs are integers", http.StatusBadRequest)
 		return
 	}
-	snap, ok := s.opts.Campaigns.CampaignByID(id)
+	switch sub {
+	case "":
+		if s.opts.Campaigns == nil {
+			http.NotFound(w, r)
+			return
+		}
+		snap, ok := s.opts.Campaigns.CampaignByID(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	case "progress":
+		s.handleProgress(w, r, id)
+	case "progress/stream":
+		s.handleProgressStream(w, r, id)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// handleProgress serves the latest convergence snapshot for one campaign.
+// A campaign whose attack has not yet produced a snapshot returns 404 with
+// a distinct message, so clients can tell "not started" from "no campaign".
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request, id int) {
+	if s.opts.Progress == nil {
+		http.NotFound(w, r)
+		return
+	}
+	led, ok := s.opts.Progress.ProgressLedger(id)
 	if !ok {
 		http.NotFound(w, r)
 		return
 	}
+	snap, ok := led.Latest()
+	if !ok {
+		http.Error(w, "no convergence snapshots yet", http.StatusNotFound)
+		return
+	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleProgressStream streams convergence snapshots as JSONL: full replay
+// of the history so far, then live snapshots as the attack appends them.
+// The stream ends when the campaign's ledger closes (terminal state) or the
+// client disconnects. Each line is flushed immediately so a watcher sees
+// the collapse as it happens, not when a buffer fills.
+func (s *Server) handleProgressStream(w http.ResponseWriter, r *http.Request, id int) {
+	if s.opts.Progress == nil {
+		http.NotFound(w, r)
+		return
+	}
+	led, ok := s.opts.Progress.ProgressLedger(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	ch, cancel := led.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case snap, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(snap); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // APIError is the structured error body of every non-2xx /campaigns
