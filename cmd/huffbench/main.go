@@ -223,6 +223,7 @@ func scenarios(env *benchEnv) []scenario {
 		{"attack_resnet18", attackScenario(env, "attack_resnet18", "resnet18", 16, 0.6, 6, 16, 1234)},
 		{"encode_micro", encodeMicro},
 		{"daemon_restart", daemonRestart},
+		{"store_readpath", storeReadpath},
 	}
 }
 

@@ -87,6 +87,19 @@ var rules = map[string]rule{
 	"converge_log10_volume_final": {higherBetter: false, threshold: 1.05, deterministic: true},
 	"converge_queries_to_90pct":   {higherBetter: false, threshold: 1.05, deterministic: true},
 	"sym_peak_exprs":              {higherBetter: false, threshold: 1.1, deterministic: true},
+	// Campaign-store read path (store_readpath). The corpus is seeded, so
+	// its shape — record/byte/segment counts, scan matches, model count —
+	// depends only on the code and gates across machines; the per-operation
+	// read latencies are host wall time and gate loosely, same-machine only.
+	"store_records":        {higherBetter: false, threshold: 1.05, deterministic: true},
+	"store_bytes":          {higherBetter: false, threshold: 1.1, deterministic: true},
+	"store_segments":       {higherBetter: false, threshold: 1.1, deterministic: true},
+	"scan_matches":         {higherBetter: false, threshold: 1.05, deterministic: true},
+	"aggregate_models":     {higherBetter: false, threshold: 1.05, deterministic: true},
+	"open_seconds":         {higherBetter: false, threshold: 2.5},
+	"point_lookup_seconds": {higherBetter: false, threshold: 2.5},
+	"range_scan_seconds":   {higherBetter: false, threshold: 2.5},
+	"aggregate_seconds":    {higherBetter: false, threshold: 2.5},
 }
 
 // ruleFor resolves the regression policy for a metric: exact rules first,

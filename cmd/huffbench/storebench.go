@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/huffduff/huffduff/internal/store"
+)
+
+// storeReadpath benchmarks the campaign store's read paths over a
+// multi-thousand-campaign corpus: a seeded synthetic history is written into
+// a segment-log store, the store is closed and reopened (timing the
+// index-assisted load), and then point lookups, filtered time-range scans,
+// and the per-model aggregate are measured against the reopened store.
+//
+// The corpus is fully deterministic — fixed base timestamp, seeded rand for
+// the payload fields — so store_records, store_bytes, scan_matches, and
+// aggregate_models gate under -deterministic-only, while the *_seconds
+// metrics are host wall time and gate loosely on same-machine runs only.
+// Background compaction is disabled (its timing would make segment layout
+// run-dependent); the compaction path is covered by internal/store tests.
+func storeReadpath() (Metrics, error) {
+	const (
+		campaigns    = 4000
+		pointLookups = 2000
+		scanIters    = 50
+		aggIters     = 50
+		baseNS       = int64(1_760_000_000_000_000_000) // fixed epoch for FinishedNS
+	)
+	models := []string{"smallcnn", "vggs", "resnet18", "alexnet", "mobilenetv2"}
+
+	dir, err := os.MkdirTemp("", "huffbench-store-*")
+	if err != nil {
+		return nil, fmt.Errorf("store_readpath: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Write phase: a seeded synthetic terminal history. Small segments force
+	// a realistic multi-segment layout (~hundreds of records per segment).
+	cfg := store.SegmentConfig{SegmentBytes: 256 << 10, CompactAfter: -1, NoSync: true}
+	s, err := store.Open(dir, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("store_readpath: %w", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 1; i <= campaigns; i++ {
+		model := models[rng.Intn(len(models))]
+		state := "done"
+		if rng.Float64() < 0.1 {
+			state = "failed"
+		}
+		finished := baseNS + int64(i)*int64(time.Second)
+		wall := 1 + 30*rng.Float64()
+		queries := int64(200 + rng.Intn(2000))
+		payload, err := json.Marshal(map[string]any{
+			"id": i, "spec": map[string]any{"model": model, "trials": 8, "q": 8},
+			"state": state, "victim_queries": queries, "solution_count": 4,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store_readpath: %w", err)
+		}
+		rec := store.CampaignRecord{
+			ID: i, Model: model, State: state,
+			FinishedNS: finished, WallSeconds: wall,
+			Queries: queries, Degraded: rng.Float64() < 0.05,
+			Payload: payload,
+		}
+		if err := s.PutCampaign(rec); err != nil {
+			return nil, fmt.Errorf("store_readpath put: %w", err)
+		}
+		if i%100 == 0 {
+			events, _ := json.Marshal([]map[string]any{
+				{"ts": finished - int64(time.Second), "kind": "count", "name": "probe.runs", "value": 1},
+				{"ts": finished, "kind": "gauge", "name": "converge.log10_volume", "value": 3.5},
+			})
+			batch := store.EventBatch{
+				CampaignID: i,
+				FirstNS:    finished - int64(time.Second),
+				LastNS:     finished,
+				Events:     events,
+			}
+			if err := s.PutEvents(batch); err != nil {
+				return nil, fmt.Errorf("store_readpath put events: %w", err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		return nil, fmt.Errorf("store_readpath: %w", err)
+	}
+
+	// Reopen: the read-side store, loading via the sidecar indexes.
+	start := time.Now()
+	s, err = store.Open(dir, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("store_readpath reopen: %w", err)
+	}
+	openSeconds := time.Since(start).Seconds()
+	defer s.Close()
+	stats := s.Stats()
+	if stats.Records != campaigns {
+		return nil, fmt.Errorf("store_readpath: reopened store has %d records, want %d", stats.Records, campaigns)
+	}
+
+	// Point lookups: seeded-random IDs, payload decoded each time.
+	lookupRng := rand.New(rand.NewSource(43))
+	start = time.Now()
+	for i := 0; i < pointLookups; i++ {
+		id := 1 + lookupRng.Intn(campaigns)
+		rec, ok, err := s.Campaign(id)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("store_readpath lookup %d: ok=%v err=%v", id, ok, err)
+		}
+		var payload map[string]any
+		if err := json.Unmarshal(rec.Payload, &payload); err != nil {
+			return nil, fmt.Errorf("store_readpath lookup %d payload: %w", id, err)
+		}
+	}
+	lookupSeconds := time.Since(start).Seconds()
+
+	// Filtered time-range scan: one model, done only, newest quarter of the
+	// corpus, paginated window — the GET /campaigns query shape.
+	scanQ := store.Query{
+		Model: "smallcnn", State: "done",
+		SinceNS: baseNS + int64(campaigns*3/4)*int64(time.Second),
+	}
+	matches, err := s.Campaigns(scanQ)
+	if err != nil {
+		return nil, fmt.Errorf("store_readpath scan: %w", err)
+	}
+	start = time.Now()
+	for i := 0; i < scanIters; i++ {
+		q := scanQ
+		q.Offset, q.Limit = 10, 50
+		if _, err := s.Campaigns(q); err != nil {
+			return nil, fmt.Errorf("store_readpath scan: %w", err)
+		}
+	}
+	scanSeconds := time.Since(start).Seconds()
+
+	// Per-model aggregate: full-corpus percentile math off the index columns.
+	aggs, err := s.AggregateByModel()
+	if err != nil {
+		return nil, fmt.Errorf("store_readpath aggregate: %w", err)
+	}
+	start = time.Now()
+	for i := 0; i < aggIters; i++ {
+		if _, err := s.AggregateByModel(); err != nil {
+			return nil, fmt.Errorf("store_readpath aggregate: %w", err)
+		}
+	}
+	aggSeconds := time.Since(start).Seconds()
+
+	return Metrics{
+		"wall_seconds": openSeconds + lookupSeconds + scanSeconds + aggSeconds,
+		// Deterministic corpus shape: these hold across machines.
+		"store_records":    float64(stats.Records),
+		"store_bytes":      float64(stats.LiveBytes),
+		"store_segments":   float64(stats.Segments),
+		"scan_matches":     float64(len(matches)),
+		"aggregate_models": float64(len(aggs)),
+		// Host wall time, loosely gated on same-machine runs only.
+		"open_seconds":         openSeconds,
+		"point_lookup_seconds": lookupSeconds,
+		"range_scan_seconds":   scanSeconds,
+		"aggregate_seconds":    aggSeconds,
+	}, nil
+}

@@ -8,7 +8,13 @@
 // transition is journaled (fsync'd JSONL segments) before it is
 // acknowledged, and a restart on the same directory replays the journal,
 // preserves campaign IDs and terminal results, and requeues whatever was
-// queued or running when the process died.
+// queued or running when the process died. Terminal campaigns are
+// additionally persisted into an embedded segment-log store under
+// <data-dir>/store, which serves the queryable history:
+//
+//	curl 'localhost:9120/campaigns?model=smallcnn&state=done&limit=10'
+//	curl 'localhost:9120/campaigns/aggregate?by=model'
+//	curl 'localhost:9120/campaigns/1/events'
 //
 // Usage:
 //
@@ -40,6 +46,7 @@ import (
 	"github.com/huffduff/huffduff/cmd/internal/cli"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prof"
+	"github.com/huffduff/huffduff/internal/store"
 	"github.com/huffduff/huffduff/internal/telemetry"
 )
 
@@ -73,6 +80,7 @@ func main() {
 	rec := obs.Fanout(sinks...)
 
 	var journal *telemetry.Journal
+	var hist store.Store
 	if *dataDir != "" {
 		j, err := telemetry.OpenJournal(filepath.Join(*dataDir, "journal"), telemetry.JournalConfig{Obs: rec})
 		cli.Check(err)
@@ -87,6 +95,14 @@ func main() {
 		}
 		log.Printf("journal %s: replayed %d finished campaign(s), requeued %d interrupted",
 			filepath.Join(*dataDir, "journal"), terminal, requeued)
+
+		storeDir := filepath.Join(*dataDir, "store")
+		seg, err := store.Open(storeDir, store.SegmentConfig{Obs: rec})
+		cli.Check(err)
+		hist = seg
+		st := seg.Stats()
+		log.Printf("store %s: %d campaign(s), %d event batch(es) across %d segment(s)",
+			storeDir, st.Records, st.EventBatches, st.Segments)
 	}
 
 	d := telemetry.NewDaemon(telemetry.DaemonConfig{
@@ -94,6 +110,8 @@ func main() {
 		QueueDepth: *queue,
 		Recorder:   rec,
 		Journal:    journal,
+		Store:      hist,
+		Flight:     flight,
 		JobTimeout: *jobTO,
 		Retry:      telemetry.RetryPolicy{MaxAttempts: *retryMax, BaseDelay: *retryBase},
 	})
@@ -110,7 +128,7 @@ func main() {
 	l, err := net.Listen("tcp", *addr)
 	cli.Check(err)
 	log.Printf("huffduffd listening on http://%s (%d workers, queue %d)", l.Addr(), *workers, *queue)
-	log.Printf("endpoints: /metrics /healthz /campaigns /campaigns/{id}/progress[/stream] /events /debug/profile /debug/pprof/")
+	log.Printf("endpoints: /metrics /healthz /campaigns /campaigns/aggregate /campaigns/{id}/progress[/stream] /campaigns/{id}/events /events /debug/profile /debug/pprof/")
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
@@ -135,6 +153,11 @@ func main() {
 	if journal != nil {
 		if err := journal.Close(); err != nil {
 			log.Printf("journal: %v", err)
+		}
+	}
+	if hist != nil {
+		if err := hist.Close(); err != nil {
+			log.Printf("store: %v", err)
 		}
 	}
 	if sink != nil {

@@ -49,6 +49,7 @@ import (
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prune"
 	"github.com/huffduff/huffduff/internal/reversecnn"
+	"github.com/huffduff/huffduff/internal/store"
 	"github.com/huffduff/huffduff/internal/trace"
 	"github.com/huffduff/huffduff/internal/train"
 )
@@ -236,6 +237,37 @@ func NewConvergeLedger(rec ObsRecorder) *ConvergeLedger { return converge.NewLed
 // AttackStage extracts the pipeline stage ("calibration", "probe", "solve",
 // "geometry", "timing", "finalize") an attack error originated in.
 func AttackStage(err error) (string, bool) { return faults.StageOf(err) }
+
+// Durable campaign history: the embedded store behind huffduffd's
+// queryable /campaigns surface, usable standalone for longitudinal
+// experiment datasets (per-model aggregates over many runs).
+type (
+	// CampaignStore is the history interface: put/lookup/scan terminal
+	// campaign records, per-campaign event batches, and per-model
+	// aggregates. NewMemoryCampaignStore and OpenCampaignStore return the
+	// two implementations, which serve identical results.
+	CampaignStore = store.Store
+	// StoredCampaign is one terminal campaign: indexed columns (model,
+	// state, finish time, wall seconds, queries) plus an opaque payload.
+	StoredCampaign = store.CampaignRecord
+	// CampaignQuery filters and paginates a campaign scan.
+	CampaignQuery = store.Query
+	// ModelAggregate is one model's cross-campaign rollup: counts,
+	// p50/p95 wall seconds, total victim queries, degraded-rate.
+	ModelAggregate = store.ModelAggregate
+	// CampaignStoreConfig tunes the segment-log store (segment size,
+	// fsync, compaction trigger, obs recorder).
+	CampaignStoreConfig = store.SegmentConfig
+)
+
+// NewMemoryCampaignStore builds the in-memory CampaignStore.
+func NewMemoryCampaignStore() CampaignStore { return store.NewMemory() }
+
+// OpenCampaignStore opens (or creates) the crash-safe segment-log
+// CampaignStore in dir.
+func OpenCampaignStore(dir string, cfg CampaignStoreConfig) (CampaignStore, error) {
+	return store.Open(dir, cfg)
+}
 
 // SampleSolutions draws n distinct candidates uniformly from the solution
 // space.

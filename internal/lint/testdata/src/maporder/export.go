@@ -82,3 +82,33 @@ func OKLedgerAppendSorted(led *converge.Ledger, m map[int]int) {
 		led.Append(converge.Snapshot{Stage: "solve", GeomAmbiguity: m[n]})
 	}
 }
+
+// campaignRow stands in for a per-model aggregate row in the store's
+// listing/aggregate path.
+type campaignRow struct {
+	Model string
+	Count int
+}
+
+// BadAggregateListing mirrors the campaign-store aggregate read path gone
+// wrong: per-model rows collected straight out of a map and returned as an
+// HTTP-serialized listing, so response byte order varies between identical
+// requests.
+func BadAggregateListing(byModel map[string]int) []campaignRow {
+	var rows []campaignRow
+	for model, n := range byModel {
+		rows = append(rows, campaignRow{Model: model, Count: n})
+	}
+	return rows
+}
+
+// OKAggregateListingSorted is the correct shape: collect, then sort by the
+// model key before the rows reach any encoder.
+func OKAggregateListingSorted(byModel map[string]int) []campaignRow {
+	rows := make([]campaignRow, 0, len(byModel))
+	for model, n := range byModel {
+		rows = append(rows, campaignRow{Model: model, Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Model < rows[j].Model })
+	return rows
+}

@@ -1,0 +1,194 @@
+package store
+
+// Compaction folds the sealed segments into one: live records (the highest
+// LSN per (kind, ID) pair) are copied frame-verbatim into a merged segment,
+// superseded records are dropped, and the inputs are deleted. Supersedence
+// is decided by LSN, so the merged segment keeps the original LSNs and the
+// recovery fold stays correct no matter how a crash interleaves with the
+// pass. The crash discipline, in order:
+//
+//  1. write the merged log to seg-<firstLSN>.log.tmp and fsync it
+//  2. delete the first input's sidecar (its log is about to be replaced)
+//  3. rename the merged log over the first input (atomic)
+//  4. delete the remaining inputs and their sidecars
+//  5. write the merged segment's sidecar
+//
+// A crash before (3) leaves only a .tmp, removed at the next open. A crash
+// between (3) and (4) leaves the merged log plus stale inputs whose records
+// are duplicates of merged LSNs — the recovery fold dedupes them. A crash
+// before (5) leaves the merged log without a sidecar (or, had the sidecar
+// survived from the replaced input, with a stale one whose size mismatches)
+// — either way recovery falls back to a frame scan and rewrites it.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// compactor is the background compaction loop: one pass per wake-up signal
+// from rotation (or Open), serialized by the loop itself.
+func (s *Segment) compactor() {
+	defer s.wg.Done()
+	for range s.compactCh {
+		if err := s.Compact(); err != nil && err != ErrClosed {
+			s.count("store.compaction_errors", "", 1)
+		}
+	}
+}
+
+// signalCompactLocked wakes the compactor when enough sealed segments have
+// accumulated. Callers hold s.mu.
+func (s *Segment) signalCompactLocked() {
+	if s.compactCh == nil || s.closed {
+		return
+	}
+	if len(s.segs)-1 < s.cfg.CompactAfter {
+		return
+	}
+	select {
+	case s.compactCh <- struct{}{}:
+	default: // a pass is already pending
+	}
+}
+
+// Compact merges every sealed segment into one, dropping superseded
+// records. It is a no-op with fewer than two sealed segments unless the one
+// sealed segment carries dead records. The pass holds the store lock: at
+// the segment sizes compaction targets this is milliseconds, and it keeps
+// every read and the index swap trivially consistent.
+func (s *Segment) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	inputs := s.segs[:len(s.segs)-1] // all sealed; the last is active
+	if len(inputs) == 0 {
+		return nil
+	}
+	live := s.liveIn(inputs)
+	totalRecords := 0
+	for _, seg := range inputs {
+		totalRecords += seg.records
+	}
+	if len(inputs) < 2 && totalRecords == len(live) {
+		return nil // single sealed segment, nothing dead: nothing to gain
+	}
+	dropped := uint64(totalRecords - len(live))
+
+	merged, entries, err := s.writeMerged(inputs[0].firstLSN, live)
+	if err != nil {
+		return err
+	}
+	if !s.hook("merged-written") {
+		return nil // simulated crash: .tmp cleaned up at next open
+	}
+	os.Remove(strings.TrimSuffix(inputs[0].path, ".log") + ".idx")
+	if err := os.Rename(merged.path+".tmp", merged.path); err != nil {
+		return fmt.Errorf("store: compaction rename: %w", err)
+	}
+	if !s.hook("renamed") {
+		return nil // simulated crash: stale inputs dedupe by LSN at next open
+	}
+	for _, seg := range inputs {
+		seg.f.Close()
+		if seg.path != merged.path {
+			os.Remove(seg.path)
+		}
+		os.Remove(strings.TrimSuffix(seg.path, ".log") + ".idx")
+	}
+	s.writeSidecar(merged, entries)
+
+	f, err := os.Open(merged.path)
+	if err != nil {
+		return fmt.Errorf("store: reopening merged segment: %w", err)
+	}
+	merged.f = f
+	active := s.segs[len(s.segs)-1]
+	s.segs = []*segmentInfo{merged, active}
+	for _, e := range entries {
+		s.indexEntry(e, merged)
+	}
+	s.stats.Compactions++
+	s.stats.CompactedRecords += dropped
+	s.count("store.compactions", "", 1)
+	s.count("store.compacted_records", "", float64(dropped))
+	s.publishGauges()
+	return nil
+}
+
+// liveIn returns the live records located in the given segments, ascending
+// LSN (the order the merged segment preserves).
+func (s *Segment) liveIn(inputs []*segmentInfo) []*recLoc {
+	in := map[*segmentInfo]bool{}
+	for _, seg := range inputs {
+		in[seg] = true
+	}
+	var live []*recLoc
+	for _, loc := range s.byID {
+		if in[loc.seg] {
+			live = append(live, loc)
+		}
+	}
+	for _, loc := range s.evByID {
+		if in[loc.seg] {
+			live = append(live, loc)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].lsn < live[j].lsn })
+	return live
+}
+
+// writeMerged copies the live frames verbatim into <firstLSN>.log.tmp,
+// fsyncs it, and returns the (not yet renamed) segment plus its index rows.
+func (s *Segment) writeMerged(firstLSN uint64, live []*recLoc) (*segmentInfo, []idxEntry, error) {
+	merged := &segmentInfo{
+		path:     s.segPath(firstLSN),
+		firstLSN: firstLSN,
+		records:  len(live),
+	}
+	f, err := os.OpenFile(merged.path+".tmp", os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: compaction tmp: %w", err)
+	}
+	defer f.Close()
+	entries := make([]idxEntry, 0, len(live))
+	for _, loc := range live {
+		buf := make([]byte, loc.n)
+		if _, err := loc.seg.f.ReadAt(buf, loc.off); err != nil {
+			return nil, nil, fmt.Errorf("store: compaction read %s@%d: %w", loc.seg.path, loc.off, err)
+		}
+		if _, err := f.Write(buf); err != nil {
+			return nil, nil, fmt.Errorf("store: compaction write: %w", err)
+		}
+		entries = append(entries, idxEntry{
+			LSN: loc.lsn, Kind: loc.kind, Off: merged.size, N: loc.n,
+			ID: loc.id, Model: loc.idx.Model, State: loc.idx.State,
+			FinishedNS: loc.idx.FinishedNS, WallSeconds: loc.idx.WallSeconds,
+			Queries: loc.idx.Queries, Degraded: loc.idx.Degraded,
+		})
+		merged.size += int64(loc.n)
+	}
+	if !s.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("store: compaction fsync: %w", err)
+		}
+	}
+	return merged, entries, nil
+}
+
+// segPath names a segment file by its first LSN.
+func (s *Segment) segPath(firstLSN uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%016d.log", firstLSN))
+}
+
+// hook runs the test-only compaction crash hook; true means keep going.
+func (s *Segment) hook(stage string) bool {
+	if s.cfg.compactHook == nil {
+		return true
+	}
+	return s.cfg.compactHook(stage)
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Memory is the in-process Store: the backend a daemon without a data
+// directory uses. Same query semantics and ordering as Segment over the
+// same contents, no durability.
+type Memory struct {
+	mu       sync.Mutex
+	closed   bool
+	byID     map[int]CampaignRecord
+	events   map[int]EventBatch
+	appends  uint64
+	appendBy uint64
+}
+
+// ErrClosed rejects operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{byID: map[int]CampaignRecord{}, events: map[int]EventBatch{}}
+}
+
+// PutCampaign inserts or supersedes one campaign record.
+func (m *Memory) PutCampaign(rec CampaignRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.byID[rec.ID] = rec
+	m.appends++
+	m.appendBy += uint64(recordBytes(rec))
+	return nil
+}
+
+// Campaign returns the record for one campaign ID.
+func (m *Memory) Campaign(id int) (CampaignRecord, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return CampaignRecord{}, false, ErrClosed
+	}
+	rec, ok := m.byID[id]
+	return rec, ok, nil
+}
+
+// Campaigns lists matching records in ascending-ID order, paginated.
+func (m *Memory) Campaigns(q Query) ([]CampaignRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	out := make([]CampaignRecord, 0, len(m.byID))
+	for _, rec := range m.byID {
+		if q.Match(rec) {
+			out = append(out, rec)
+		}
+	}
+	// Map iteration is randomized; the listing contract is ascending ID.
+	sortByID(out)
+	return applyWindow(out, q), nil
+}
+
+// AggregateByModel folds the table into per-model aggregates.
+func (m *Memory) AggregateByModel() ([]ModelAggregate, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	recs := make([]CampaignRecord, 0, len(m.byID))
+	for _, rec := range m.byID {
+		recs = append(recs, rec)
+	}
+	// aggregateRecords sorts by model internally; record order is irrelevant
+	// to the fold, but sort anyway so both backends feed it identically.
+	sortByID(recs)
+	return aggregateRecords(recs), nil
+}
+
+// PutEvents inserts or supersedes one campaign's event batch.
+func (m *Memory) PutEvents(batch EventBatch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.events[batch.CampaignID] = batch
+	m.appends++
+	m.appendBy += uint64(len(batch.Events))
+	return nil
+}
+
+// Events returns the stored event batch for one campaign.
+func (m *Memory) Events(campaignID int) (EventBatch, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return EventBatch{}, false, ErrClosed
+	}
+	b, ok := m.events[campaignID]
+	return b, ok, nil
+}
+
+// Stats reports the table's counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var live int64
+	for _, rec := range m.byID {
+		live += int64(recordBytes(rec))
+	}
+	return Stats{
+		Records:      len(m.byID),
+		EventBatches: len(m.events),
+		Appends:      m.appends,
+		AppendBytes:  m.appendBy,
+		LiveBytes:    live,
+	}
+}
+
+// Close marks the store closed; later operations return ErrClosed.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	return nil
+}
+
+// recordBytes approximates one record's stored size: the payload dominates,
+// and the approximation only feeds the byte counters.
+func recordBytes(rec CampaignRecord) int {
+	return len(rec.Payload) + len(rec.Model) + len(rec.State) + 48
+}

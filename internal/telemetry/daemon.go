@@ -24,6 +24,7 @@ import (
 	"github.com/huffduff/huffduff/internal/models"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prune"
+	"github.com/huffduff/huffduff/internal/store"
 	"github.com/huffduff/huffduff/internal/tensor"
 	"github.com/huffduff/huffduff/internal/trace"
 )
@@ -131,9 +132,14 @@ type CampaignSnapshot struct {
 	SolutionCount int  `json:"solution_count,omitempty"`
 	Degraded      bool `json:"degraded,omitempty"`
 	// Device is the victim-side telemetry (simulated device time, per-layer
-	// DRAM/MAC/encode breakdown), snapshotted live from the machine. It is
-	// not persisted across restarts (the machine dies with the process).
+	// DRAM/MAC/encode breakdown), snapshotted live from the machine. It dies
+	// with the process unless a campaign store persists the terminal
+	// snapshot, in which case a restart restores it from there.
 	Device *accel.CampaignStats `json:"device,omitempty"`
+	// Converge is the convergence-ledger summary, attached when the campaign
+	// reaches a terminal state (the §8.2 collapse endpoints and
+	// queries-to-90% numbers, condensed for the stored history).
+	Converge *converge.Summary `json:"converge,omitempty"`
 }
 
 // campaign is the daemon-internal mutable record behind a snapshot.
@@ -231,6 +237,17 @@ type DaemonConfig struct {
 	// the journal at construction are requeued. Nil keeps the daemon
 	// ephemeral.
 	Journal *Journal
+	// Store is the campaign-history store terminal campaigns are persisted
+	// into and the queryable read path (/campaigns filters, /campaigns/
+	// aggregate) is served from. Nil defaults to an in-memory store, so the
+	// query surface behaves identically with and without a data directory;
+	// a segment store additionally survives restarts. The daemon does not
+	// close the store — the owner that opened it does.
+	Store store.Store
+	// Flight, when set alongside Store, is the flight recorder whose event
+	// tail is captured into the store (the events of the campaign's final
+	// attempt window) when a campaign reaches a terminal state.
+	Flight *obs.FlightRecorder
 	// Retry is the per-campaign retry policy.
 	Retry RetryPolicy
 	// JobTimeout is the default per-job deadline propagated to the attack
@@ -286,6 +303,9 @@ func NewDaemon(cfg DaemonConfig) *Daemon {
 		cfg.RetryAfter = 5 * time.Second
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.Store == nil {
+		cfg.Store = store.NewMemory()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Daemon{
 		cfg:      cfg,
@@ -299,6 +319,11 @@ func NewDaemon(cfg DaemonConfig) *Daemon {
 	if cfg.Journal != nil {
 		requeue = d.restore(cfg.Journal.Replayed())
 	}
+	// Reconcile with the campaign store: stored history the journal no
+	// longer covers is restored, and journal-terminal campaigns the store
+	// missed (a crash between journal append and store append) are persisted
+	// now — after this the two are replay-equivalent.
+	d.restoreFromStore()
 	// Extra capacity beyond QueueDepth absorbs journal requeues and retry
 	// re-enqueues, which bypass submission backpressure; retries that
 	// still find the channel full simply reschedule their timer.
@@ -669,7 +694,10 @@ func (d *Daemon) finishDone(c *campaign, res *attack.Result, started, finished t
 		s.VictimRetries = res.VictimRetries
 	})
 	c.ledger.Close()
+	sum := c.ledger.Summary()
+	c.update(func(s *CampaignSnapshot) { s.Converge = &sum })
 	snap := c.snapshot()
+	d.persistTerminal(snap, started, finished)
 	d.journalState(snap.ID, StateChange{
 		State:     StateDone,
 		Attempt:   snap.Attempts,
@@ -693,7 +721,10 @@ func (d *Daemon) finishFailed(c *campaign, err error, class string, started, fin
 		s.ErrorClass = class
 	})
 	c.ledger.Close()
+	sum := c.ledger.Summary()
+	c.update(func(s *CampaignSnapshot) { s.Converge = &sum })
 	snap := c.snapshot()
+	d.persistTerminal(snap, started, finished)
 	d.journalState(snap.ID, StateChange{
 		State: StateFailed, Attempt: snap.Attempts, Error: snap.Error, Class: class,
 	})

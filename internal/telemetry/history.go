@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/huffduff/huffduff/internal/converge"
+	"github.com/huffduff/huffduff/internal/obs"
+	"github.com/huffduff/huffduff/internal/store"
+)
+
+// This file is the daemon's bridge to the campaign store: terminal
+// snapshots (and their flight-recorder tails) are persisted on the way down,
+// the filtered/paginated /campaigns listing and the per-model aggregate are
+// served back out of it, and at construction the store and the journal are
+// reconciled so either one alone can rebuild the served history.
+
+// terminalState reports whether a campaign state is terminal.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed
+}
+
+// persistTerminal writes a terminal campaign into the store: the full
+// snapshot as the record payload, plus the flight-recorder events of the
+// final attempt window as the campaign's event batch. Store failures are
+// counted (daemon.store_errors) and never fail the campaign.
+func (d *Daemon) persistTerminal(snap CampaignSnapshot, started, finished time.Time) {
+	rec, err := recordFromSnapshot(snap)
+	if err != nil {
+		d.count("daemon.store_errors", "op=encode", 1)
+		return
+	}
+	rec.WallSeconds = finished.Sub(started).Seconds()
+	if err := d.cfg.Store.PutCampaign(rec); err != nil {
+		d.count("daemon.store_errors", "op=put_campaign", 1)
+	}
+	if d.cfg.Flight == nil {
+		return
+	}
+	var tail []obs.Event
+	startNS, endNS := started.UnixNano(), finished.UnixNano()
+	for _, ev := range d.cfg.Flight.Events() {
+		if ev.TS >= startNS && ev.TS <= endNS {
+			tail = append(tail, ev)
+		}
+	}
+	if len(tail) == 0 {
+		return
+	}
+	raw, err := json.Marshal(tail)
+	if err != nil {
+		d.count("daemon.store_errors", "op=encode", 1)
+		return
+	}
+	batch := store.EventBatch{
+		CampaignID: snap.ID,
+		FirstNS:    tail[0].TS,
+		LastNS:     tail[len(tail)-1].TS,
+		Events:     raw,
+	}
+	if err := d.cfg.Store.PutEvents(batch); err != nil {
+		d.count("daemon.store_errors", "op=put_events", 1)
+	}
+}
+
+// recordFromSnapshot extracts the store's indexed columns from a terminal
+// snapshot and embeds the snapshot itself as the payload.
+func recordFromSnapshot(snap CampaignSnapshot) (store.CampaignRecord, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return store.CampaignRecord{}, fmt.Errorf("encode campaign %d: %w", snap.ID, err)
+	}
+	rec := store.CampaignRecord{
+		ID:       snap.ID,
+		Model:    snap.Spec.Model,
+		State:    snap.State,
+		Queries:  int64(snap.VictimQueries),
+		Degraded: snap.Degraded,
+		Payload:  payload,
+	}
+	if snap.Finished != nil {
+		rec.FinishedNS = snap.Finished.UnixNano()
+		if snap.Started != nil {
+			rec.WallSeconds = snap.Finished.Sub(*snap.Started).Seconds()
+		}
+	}
+	return rec, nil
+}
+
+// snapshotFromRecord decodes a stored record back into the snapshot the
+// daemon serves.
+func snapshotFromRecord(rec store.CampaignRecord) (CampaignSnapshot, error) {
+	var snap CampaignSnapshot
+	if err := json.Unmarshal(rec.Payload, &snap); err != nil {
+		return CampaignSnapshot{}, fmt.Errorf("decode stored campaign %d: %w", rec.ID, err)
+	}
+	return snap, nil
+}
+
+// restoreFromStore reconciles the construction-time campaign table with the
+// store, in both directions: stored terminal campaigns the journal replay
+// did not produce are restored into the table (full payload — device stats
+// and convergence summary included, which the journal never had), journal
+// replay already in the table gets its snapshot enriched from the stored
+// payload, and journal-terminal campaigns missing from the store are
+// persisted now. Runs before the worker pool starts, so no locking.
+func (d *Daemon) restoreFromStore() {
+	recs, err := d.cfg.Store.Campaigns(store.Query{})
+	if err != nil {
+		d.count("daemon.store_errors", "op=restore", 1)
+		return
+	}
+	inStore := make(map[int]bool, len(recs))
+	merged := false
+	for _, rec := range recs {
+		inStore[rec.ID] = true
+		if c, ok := d.byID[rec.ID]; ok {
+			// The journal replayed this campaign. If it is terminal, the
+			// stored payload is a superset of the journal's view — overlay it.
+			if terminalState(c.snap.State) {
+				if snap, err := snapshotFromRecord(rec); err == nil {
+					snap.Resumed = true
+					c.snap = snap
+				}
+			}
+			continue
+		}
+		snap, err := snapshotFromRecord(rec)
+		if err != nil {
+			d.count("daemon.store_errors", "op=restore", 1)
+			continue
+		}
+		snap.Resumed = true
+		c := &campaign{snap: snap, ledger: converge.NewLedger(d.cfg.Recorder)}
+		c.ledger.Close()
+		d.byID[snap.ID] = c
+		d.campaigns = append(d.campaigns, c)
+		if snap.ID >= d.nextID {
+			d.nextID = snap.ID + 1
+		}
+		merged = true
+	}
+	if merged {
+		sort.Slice(d.campaigns, func(i, j int) bool {
+			return d.campaigns[i].snap.ID < d.campaigns[j].snap.ID
+		})
+	}
+	// Reverse direction: journal-terminal campaigns the store never saw
+	// (e.g. a crash after the journal append but before the store append).
+	for _, c := range d.campaigns {
+		if !terminalState(c.snap.State) || inStore[c.snap.ID] {
+			continue
+		}
+		var started, finished time.Time
+		if c.snap.Started != nil {
+			started = *c.snap.Started
+		}
+		if c.snap.Finished != nil {
+			finished = *c.snap.Finished
+		}
+		d.persistTerminal(c.snap, started, finished)
+	}
+}
+
+// matchSnapshot applies a store query's filters to a live snapshot, with the
+// same semantics the store applies to its records: a SinceNS filter only
+// ever matches finished campaigns.
+func matchSnapshot(q store.Query, s CampaignSnapshot) bool {
+	if q.State != "" && s.State != q.State {
+		return false
+	}
+	if q.Model != "" && s.Spec.Model != q.Model {
+		return false
+	}
+	if q.SinceNS != 0 && (s.Finished == nil || s.Finished.UnixNano() < q.SinceNS) {
+		return false
+	}
+	return true
+}
+
+// CampaignsQuery serves the filtered, paginated campaign listing: live (and
+// this process's terminal) campaigns from the in-memory table, merged with
+// stored history this process never ran, ascending ID. This is the read
+// path behind GET /campaigns?state=&model=&since=&limit=&offset=.
+func (d *Daemon) CampaignsQuery(q store.Query) ([]CampaignSnapshot, error) {
+	snaps := d.Campaigns() // ascending ID already
+	out := make([]CampaignSnapshot, 0, len(snaps))
+	have := make(map[int]bool, len(snaps))
+	for _, s := range snaps {
+		have[s.ID] = true
+		if matchSnapshot(q, s) {
+			out = append(out, s)
+		}
+	}
+	// The in-memory table covers everything after restoreFromStore, but the
+	// store may have gained records since (another writer on a shared
+	// store); merge defensively. Pagination happens after the merge — the
+	// window is over the combined history.
+	recs, err := d.cfg.Store.Campaigns(store.Query{State: q.State, Model: q.Model, SinceNS: q.SinceNS})
+	if err != nil {
+		return nil, fmt.Errorf("campaign store scan: %w", err)
+	}
+	mergedAny := false
+	for _, rec := range recs {
+		if have[rec.ID] {
+			continue
+		}
+		snap, err := snapshotFromRecord(rec)
+		if err != nil {
+			continue
+		}
+		out = append(out, snap)
+		mergedAny = true
+	}
+	if mergedAny {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = out[:0]
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && q.Limit < len(out) {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// AggregateByModel serves the per-model aggregate over the stored terminal
+// history — the read path behind GET /campaigns/aggregate?by=model.
+func (d *Daemon) AggregateByModel() ([]store.ModelAggregate, error) {
+	aggs, err := d.cfg.Store.AggregateByModel()
+	if err != nil {
+		return nil, fmt.Errorf("campaign store aggregate: %w", err)
+	}
+	return aggs, nil
+}
+
+// CampaignEvents returns the stored flight-recorder tail of one terminal
+// campaign — the read path behind GET /campaigns/{id}/events.
+func (d *Daemon) CampaignEvents(id int) (store.EventBatch, bool, error) {
+	return d.cfg.Store.Events(id)
+}
+
+// StoreStats exposes the store's counters (for tests and health surfaces).
+func (d *Daemon) StoreStats() store.Stats {
+	return d.cfg.Store.Stats()
+}

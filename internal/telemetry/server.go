@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	rtpprof "runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -19,12 +20,33 @@ import (
 	"github.com/huffduff/huffduff/internal/converge"
 	"github.com/huffduff/huffduff/internal/obs"
 	"github.com/huffduff/huffduff/internal/prof"
+	"github.com/huffduff/huffduff/internal/store"
 )
 
 // CampaignSource lists campaigns for /campaigns. *Daemon implements it.
 type CampaignSource interface {
 	Campaigns() []CampaignSnapshot
 	CampaignByID(id int) (CampaignSnapshot, bool)
+}
+
+// CampaignQuerier is the filtered, paginated listing path behind GET
+// /campaigns?state=&model=&since=&limit=&offset=. *Daemon implements it; a
+// CampaignSource without it gets the same filters applied server-side over
+// its full listing, so both paths serve identical responses.
+type CampaignQuerier interface {
+	CampaignsQuery(q store.Query) ([]CampaignSnapshot, error)
+}
+
+// AggregateSource serves GET /campaigns/aggregate?by=model. *Daemon
+// implements it (from the campaign store).
+type AggregateSource interface {
+	AggregateByModel() ([]store.ModelAggregate, error)
+}
+
+// CampaignEventsSource serves GET /campaigns/{id}/events — the persisted
+// flight-recorder tail of a terminal campaign. *Daemon implements it.
+type CampaignEventsSource interface {
+	CampaignEvents(id int) (store.EventBatch, bool, error)
 }
 
 // Submitter accepts campaign jobs for POST /campaigns. *Daemon implements
@@ -247,13 +269,113 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// handleEvents serves the flight-recorder tail as JSONL, oldest first.
+// ?since= (unix nanos) keeps only events with TS >= since; ?n= keeps only
+// the newest n of what remains — so combined they mean "the last n events
+// since T".
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Flight == nil {
 		http.Error(w, "no flight recorder configured", http.StatusNotFound)
 		return
 	}
+	since, okSince := parseIntParam(r, "since", 64)
+	n, okN := parseIntParam(r, "n", 0)
+	if !okSince || !okN {
+		http.Error(w, "n and since must be non-negative integers", http.StatusBadRequest)
+		return
+	}
+	events := s.opts.Flight.Events()
+	if since > 0 {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.TS >= since {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if n > 0 && int64(len(events)) > n {
+		events = events[int64(len(events))-n:]
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	_ = s.opts.Flight.WriteJSONL(w)
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+}
+
+// parseIntParam reads a non-negative integer query parameter; ok is false
+// only when the parameter is present and malformed. bits 0 means int-sized.
+func parseIntParam(r *http.Request, name string, bits int) (int64, bool) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return 0, true
+	}
+	v, err := strconv.ParseInt(q, 10, max(bits, strconv.IntSize))
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseCampaignQuery builds the store query from GET /campaigns parameters.
+func parseCampaignQuery(r *http.Request) (store.Query, string, bool) {
+	var q store.Query
+	q.State = r.URL.Query().Get("state")
+	switch q.State {
+	case "", StateQueued, StateRunning, StateRetrying, StateDone, StateFailed:
+	default:
+		return q, "unknown state " + strconv.Quote(q.State), false
+	}
+	q.Model = r.URL.Query().Get("model")
+	since, ok := parseIntParam(r, "since", 64)
+	if !ok {
+		return q, "since must be unix nanoseconds", false
+	}
+	q.SinceNS = since
+	limit, ok := parseIntParam(r, "limit", 0)
+	if !ok {
+		return q, "limit must be a non-negative integer", false
+	}
+	q.Limit = int(limit)
+	offset, ok := parseIntParam(r, "offset", 0)
+	if !ok {
+		return q, "offset must be a non-negative integer", false
+	}
+	q.Offset = int(offset)
+	return q, "", true
+}
+
+// queryCampaigns serves the filtered listing: through the source's own
+// querier when it has one (the daemon's store-backed path), otherwise by
+// applying identical filter/sort/window semantics over the plain listing.
+func queryCampaigns(src CampaignSource, q store.Query) ([]CampaignSnapshot, error) {
+	if querier, ok := src.(CampaignQuerier); ok {
+		return querier.CampaignsQuery(q)
+	}
+	all := src.Campaigns()
+	out := make([]CampaignSnapshot, 0, len(all))
+	for _, snap := range all {
+		if matchSnapshot(q, snap) {
+			out = append(out, snap)
+		}
+	}
+	// The listing contract is deterministic ascending-ID order regardless of
+	// how the source enumerates.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = out[:0]
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && q.Limit < len(out) {
+		out = out[:q.Limit]
+	}
+	return out, nil
 }
 
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
@@ -263,7 +385,17 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, []CampaignSnapshot{})
 			return
 		}
-		writeJSON(w, http.StatusOK, s.opts.Campaigns.Campaigns())
+		q, msg, ok := parseCampaignQuery(r)
+		if !ok {
+			http.Error(w, msg, http.StatusBadRequest)
+			return
+		}
+		snaps, err := queryCampaigns(s.opts.Campaigns, q)
+		if err != nil {
+			http.Error(w, "listing campaigns: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, snaps)
 	case http.MethodPost:
 		if s.opts.Submitter == nil {
 			http.Error(w, "read-only server: no submitter configured", http.StatusMethodNotAllowed)
@@ -296,6 +428,10 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/campaigns/")
 	idPart, sub, _ := strings.Cut(rest, "/")
+	if idPart == "aggregate" && sub == "" {
+		s.handleAggregate(w, r)
+		return
+	}
 	id, err := strconv.Atoi(idPart)
 	if err != nil {
 		http.Error(w, "campaign IDs are integers", http.StatusBadRequest)
@@ -317,9 +453,55 @@ func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 		s.handleProgress(w, r, id)
 	case "progress/stream":
 		s.handleProgressStream(w, r, id)
+	case "events":
+		s.handleCampaignEvents(w, r, id)
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// handleAggregate serves GET /campaigns/aggregate?by=model: the per-model
+// fold of the stored campaign history.
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	src, ok := s.opts.Campaigns.(AggregateSource)
+	if !ok {
+		http.Error(w, "no aggregate source configured", http.StatusNotFound)
+		return
+	}
+	if by := r.URL.Query().Get("by"); by != "" && by != "model" {
+		http.Error(w, "unsupported aggregation "+strconv.Quote(by)+"; only by=model", http.StatusBadRequest)
+		return
+	}
+	aggs, err := src.AggregateByModel()
+	if err != nil {
+		http.Error(w, "aggregating campaigns: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, aggs)
+}
+
+// handleCampaignEvents serves GET /campaigns/{id}/events: the persisted
+// flight-recorder tail of a terminal campaign, 404 until one is stored.
+func (s *Server) handleCampaignEvents(w http.ResponseWriter, r *http.Request, id int) {
+	src, ok := s.opts.Campaigns.(CampaignEventsSource)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	batch, found, err := src.CampaignEvents(id)
+	if err != nil {
+		http.Error(w, "reading stored events: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !found {
+		http.Error(w, "no stored events for campaign "+strconv.Itoa(id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, batch)
 }
 
 // handleProgress serves the latest convergence snapshot for one campaign.
