@@ -10,13 +10,14 @@ package store
 //  1. write the merged log to seg-<firstLSN>.log.tmp and fsync it
 //  2. delete the first input's sidecar (its log is about to be replaced)
 //  3. rename the merged log over the first input (atomic)
-//  4. delete the remaining inputs and their sidecars
-//  5. write the merged segment's sidecar
+//  4. reopen the merged log (while the input handles still serve reads)
+//  5. delete the remaining inputs and their sidecars
+//  6. write the merged segment's sidecar
 //
 // A crash before (3) leaves only a .tmp, removed at the next open. A crash
-// between (3) and (4) leaves the merged log plus stale inputs whose records
+// between (3) and (5) leaves the merged log plus stale inputs whose records
 // are duplicates of merged LSNs — the recovery fold dedupes them. A crash
-// before (5) leaves the merged log without a sidecar (or, had the sidecar
+// before (6) leaves the merged log without a sidecar (or, had the sidecar
 // survived from the replaced input, with a stale one whose size mismatches)
 // — either way recovery falls back to a frame scan and rewrites it.
 
@@ -93,6 +94,20 @@ func (s *Segment) Compact() error {
 	if !s.hook("renamed") {
 		return nil // simulated crash: stale inputs dedupe by LSN at next open
 	}
+	// Reopen the merged segment before touching the inputs: if this open
+	// fails, the in-memory state still points at the input segments, whose
+	// open handles keep serving reads (the renamed-over first input's fd
+	// pins its old inode), and the next open dedupes the stale inputs by
+	// LSN. Destroying the inputs first would leave every recLoc referencing
+	// a closed handle.
+	f, err := os.Open(merged.path)
+	if err != nil {
+		return fmt.Errorf("store: reopening merged segment: %w", err)
+	}
+	if !s.hook("reopened") {
+		f.Close()
+		return nil // simulated crash: merged log live, stale inputs dedupe
+	}
 	for _, seg := range inputs {
 		seg.f.Close()
 		if seg.path != merged.path {
@@ -101,11 +116,6 @@ func (s *Segment) Compact() error {
 		os.Remove(strings.TrimSuffix(seg.path, ".log") + ".idx")
 	}
 	s.writeSidecar(merged, entries)
-
-	f, err := os.Open(merged.path)
-	if err != nil {
-		return fmt.Errorf("store: reopening merged segment: %w", err)
-	}
 	merged.f = f
 	active := s.segs[len(s.segs)-1]
 	s.segs = []*segmentInfo{merged, active}

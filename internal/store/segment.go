@@ -239,6 +239,22 @@ func (s *Segment) loadSegment(path string) error {
 		var torn uint64
 		entries, torn = scanFrames(raw)
 		s.stats.TornRecords += torn
+	}
+	if len(entries) == 0 {
+		// Nothing recoverable — e.g. a crash tore the very first append to a
+		// fresh active segment. A torn frame was never acknowledged, and a
+		// zero-entry segment contributes no LSNs, so keeping it would let
+		// openActiveLocked reuse its name: O_APPEND would land new frames
+		// after the torn bytes while offsets count from zero. Drop it like
+		// the empty-segment case.
+		f.Close()
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("store: removing unrecoverable segment %s: %w", path, err)
+		}
+		os.Remove(strings.TrimSuffix(path, ".log") + ".idx")
+		return nil
+	}
+	if !ok {
 		// Recovery truncates the index at the torn tail; the bytes stay in
 		// the file (segments are immutable) but are never referenced again
 		// and vanish at the next compaction.
@@ -404,10 +420,27 @@ func (s *Segment) indexEntry(e idxEntry, seg *segmentInfo) {
 }
 
 // openActiveLocked starts a fresh active segment named by the next LSN.
+// O_EXCL guarantees the file is truly fresh: appending to an existing file
+// would land frames after its bytes while size-derived offsets count from
+// zero. A name collision (only unregistered leftovers can collide — every
+// loaded segment's name is below nextLSN) just advances the LSN; gaps are
+// harmless, supersedence only needs monotonicity.
 func (s *Segment) openActiveLocked() error {
-	path := filepath.Join(s.dir, fmt.Sprintf("seg-%016d.log", s.nextLSN))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
+	var (
+		path string
+		f    *os.File
+	)
+	for {
+		path = filepath.Join(s.dir, fmt.Sprintf("seg-%016d.log", s.nextLSN))
+		var err error
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			break
+		}
+		if os.IsExist(err) {
+			s.nextLSN++
+			continue
+		}
 		return fmt.Errorf("store: segment %s: %w", path, err)
 	}
 	// Reads go through a separate handle so ReadAt never races the append
@@ -440,6 +473,13 @@ func (s *Segment) append(rec segRecord) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.activeW == nil {
+		// A failed append sealed the active segment but could not open a
+		// fresh one; retry before accepting the record.
+		if err := s.openActiveLocked(); err != nil {
+			return err
+		}
+	}
 	rec.LSN = s.nextLSN
 	body, err := json.Marshal(rec)
 	if err != nil {
@@ -448,10 +488,12 @@ func (s *Segment) append(rec segRecord) error {
 	frame := encodeFrame(body)
 	active := s.segs[len(s.segs)-1]
 	if _, err := s.activeW.Write(frame); err != nil {
+		s.failActiveLocked()
 		return fmt.Errorf("store: append: %w", err)
 	}
 	if !s.cfg.NoSync {
 		if err := s.activeW.Sync(); err != nil {
+			s.failActiveLocked()
 			return fmt.Errorf("store: fsync: %w", err)
 		}
 	}
@@ -471,6 +513,37 @@ func (s *Segment) append(rec segRecord) error {
 	}
 	s.publishGauges()
 	return nil
+}
+
+// failActiveLocked recovers from a failed write or fsync on the active
+// segment. The file may now hold bytes past the indexed region — a partial
+// frame, or (a fsync failure) a whole unacknowledged one — so offsets
+// derived from active.size arithmetic can no longer be trusted, and any
+// frame appended after them would be unreachable at recovery, whose scan
+// stops at the first torn frame. Reconcile the in-memory size with the
+// file, consume the LSN the frame carried (it may be durable), and seal the
+// segment — its sidecar covers the valid prefix — moving appends to a
+// fresh file.
+func (s *Segment) failActiveLocked() {
+	active := s.segs[len(s.segs)-1]
+	fi, statErr := s.activeW.Stat()
+	if statErr == nil && fi.Size() == active.size {
+		return // no bytes landed; offsets and LSN remain consistent
+	}
+	s.nextLSN++
+	if statErr == nil {
+		active.size = fi.Size()
+	}
+	// When stat itself failed, active.size stays stale, the sealed sidecar
+	// records a mismatched size, and the next open falls back to a frame
+	// scan — still correct, just slower.
+	s.activeW.Close()
+	s.activeW = nil
+	s.writeSidecar(active, s.entriesOf(active))
+	if err := s.openActiveLocked(); err != nil {
+		// activeW stays nil; the next append retries the reopen.
+		s.count("store.append_errors", "op=rotate", 1)
+	}
 }
 
 // rotateLocked seals the active segment (sidecar written, write handle

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -188,6 +189,145 @@ func TestTornTail(t *testing.T) {
 	}
 }
 
+// TestTornOnlySegment reproduces a crash during the very first append to a
+// fresh active segment: the file the next open would name for its active
+// segment exists and holds nothing but a torn frame. Recovery must drop it —
+// keeping it would reuse its name, landing O_APPEND frames after the torn
+// bytes while offsets count from zero, so an acknowledged append reads back
+// corrupt and a restart silently loses every record in the file.
+func TestTornOnlySegment(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, SegmentConfig{CompactAfter: -1, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := s.PutCampaign(testRec(i, "m", "done", int64(i), 1, 1, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := s.nextLSN
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The torn frame: a length word promising 32 body bytes, then a crash.
+	torn := filepath.Join(dir, fmt.Sprintf("seg-%016d.log", next))
+	if err := os.WriteFile(torn, []byte{32, 0, 0, 0, 0xde, 0xad}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, SegmentConfig{CompactAfter: -1, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen over torn-only segment: %v", err)
+	}
+	if st := s2.Stats(); st.TornRecords != 1 {
+		t.Errorf("TornRecords = %d, want 1", st.TornRecords)
+	}
+	recs, err := s2.Campaigns(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("recovered %d records, want 5", len(recs))
+	}
+	// An acknowledged append must read back immediately...
+	if err := s2.PutCampaign(testRec(99, "m", "done", 99, 1, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := s2.Campaign(99); err != nil || !ok || got.ID != 99 {
+		t.Fatalf("append after torn-only recovery unreadable: ok=%v err=%v rec=%+v", ok, err, got)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and survive a restart of the same directory.
+	s3, err := Open(dir, SegmentConfig{CompactAfter: -1, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	recs, err = s3.Campaigns(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Errorf("restart lost acknowledged records: %d, want 6", len(recs))
+	}
+	if got, ok, err := s3.Campaign(99); err != nil || !ok || got.ID != 99 {
+		t.Errorf("acknowledged record lost across restart: ok=%v err=%v rec=%+v", ok, err, got)
+	}
+}
+
+// TestFailedAppendSealsActive exercises the failed-write recovery path: a
+// partial frame lands at the active segment's tail (what an interrupted
+// Write leaves), failActiveLocked runs, and the store must keep accepting
+// appends whose records read back live and survive a restart — the sealed
+// segment's sidecar covers only the valid prefix.
+func TestFailedAppendSealsActive(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, SegmentConfig{CompactAfter: -1, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := s.PutCampaign(testRec(i, "m", "done", int64(i), 1, 1, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	if _, err := s.activeW.Write([]byte{32, 0, 0, 0, 0xde, 0xad}); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	segsBefore := len(s.segs)
+	s.failActiveLocked()
+	if s.activeW == nil {
+		s.mu.Unlock()
+		t.Fatal("failActiveLocked left no active write handle")
+	}
+	if len(s.segs) != segsBefore+1 {
+		s.mu.Unlock()
+		t.Fatalf("failActiveLocked did not open a fresh segment: %d segs, want %d", len(s.segs), segsBefore+1)
+	}
+	s.mu.Unlock()
+
+	// Appends after the failure land in the fresh segment and read back.
+	if err := s.PutCampaign(testRec(4, "m", "done", 4, 1, 1, false)); err != nil {
+		t.Fatalf("append after failed-write recovery: %v", err)
+	}
+	if got, ok, err := s.Campaign(4); err != nil || !ok || got.ID != 4 {
+		t.Fatalf("post-failure append unreadable: ok=%v err=%v rec=%+v", ok, err, got)
+	}
+	recs, err := s.Campaigns(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("%d records live, want 4", len(recs))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, SegmentConfig{CompactAfter: -1, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen after failed-write recovery: %v", err)
+	}
+	defer s2.Close()
+	recs, err = s2.Campaigns(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("restart lost records written after a failed append: %d, want 4", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Model != "m" || rec.State != "done" {
+			t.Errorf("record corrupted across restart: %+v", rec)
+		}
+	}
+}
+
 // TestStaleSidecarRescan corrupts a sidecar (and separately leaves one whose
 // size mismatches) and requires recovery to ignore it and rescan.
 func TestStaleSidecarRescan(t *testing.T) {
@@ -323,7 +463,7 @@ func TestBackgroundCompaction(t *testing.T) {
 // requires a reopen of the directory to serve exactly the pre-compaction
 // contents.
 func TestKillMidCompaction(t *testing.T) {
-	for _, stage := range []string{"merged-written", "renamed"} {
+	for _, stage := range []string{"merged-written", "renamed", "reopened"} {
 		t.Run(stage, func(t *testing.T) {
 			dir := t.TempDir()
 			cfg := SegmentConfig{SegmentBytes: 512, CompactAfter: -1}

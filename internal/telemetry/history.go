@@ -32,7 +32,13 @@ func (d *Daemon) persistTerminal(snap CampaignSnapshot, started, finished time.T
 		d.count("daemon.store_errors", "op=encode", 1)
 		return
 	}
-	rec.WallSeconds = finished.Sub(started).Seconds()
+	if !started.IsZero() && !finished.IsZero() {
+		// Only override the snapshot-derived value when both endpoints are
+		// real: the restore path can reach here with a zero started (journal
+		// snapshot missing Started), and finished.Sub(zero) would record ~54
+		// years of wall time and skew the per-model percentiles.
+		rec.WallSeconds = finished.Sub(started).Seconds()
+	}
 	if err := d.cfg.Store.PutCampaign(rec); err != nil {
 		d.count("daemon.store_errors", "op=put_campaign", 1)
 	}

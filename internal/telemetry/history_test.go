@@ -513,6 +513,50 @@ func TestJournalStoreReplayEquivalence(t *testing.T) {
 	}
 }
 
+// TestPersistTerminalZeroStart guards the restore reverse-reconcile path: a
+// journal-replayed snapshot can be terminal with Finished set but Started
+// missing, and persisting it must not derive wall seconds from the zero time
+// (finished.Sub(zero) is ~54 years, which would permanently skew the stored
+// record and the per-model p50/p95 aggregates).
+func TestPersistTerminalZeroStart(t *testing.T) {
+	mem := store.NewMemory()
+	defer mem.Close()
+	d := NewDaemon(DaemonConfig{Workers: 1, Store: mem})
+	defer d.Kill()
+
+	fin := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	snap := fixedSnapshot(1, "smallcnn", StateDone, fin, 100, false)
+	snap.Started = nil
+	d.persistTerminal(snap, time.Time{}, fin)
+
+	rec, ok, err := mem.Campaign(1)
+	if err != nil || !ok {
+		t.Fatalf("campaign not persisted: ok=%v err=%v", ok, err)
+	}
+	if rec.WallSeconds != 0 {
+		t.Errorf("WallSeconds = %v with no start time, want 0", rec.WallSeconds)
+	}
+	aggs, err := mem.AggregateByModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 1 || aggs[0].P50WallSeconds != 0 || aggs[0].P95WallSeconds != 0 {
+		t.Errorf("zero-start campaign skewed aggregates: %+v", aggs)
+	}
+
+	// A snapshot with both endpoints real still gets the caller's wall time.
+	started := fin.Add(-2 * time.Second)
+	snap2 := fixedSnapshot(2, "smallcnn", StateDone, fin, 100, false)
+	d.persistTerminal(snap2, started, fin)
+	rec, ok, err = mem.Campaign(2)
+	if err != nil || !ok {
+		t.Fatalf("campaign 2 not persisted: ok=%v err=%v", ok, err)
+	}
+	if rec.WallSeconds != 2 {
+		t.Errorf("WallSeconds = %v, want 2 (override from real endpoints)", rec.WallSeconds)
+	}
+}
+
 // TestEventsQueryParams pins the /events tail-limit and since filters: ?n=
 // keeps the newest n events, ?since= keeps events at or after the timestamp,
 // and combined they mean "the last n since T". Malformed values are 400s.
