@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/huffduff/huffduff/internal/lint"
+)
+
+// huffvetScenario measures one full-module huffvet pass — load and
+// type-check every package against the offline source importer, build the
+// call graph, and run all analyzers (including the flow-aware CFG/dataflow
+// ones) — the cost CI pays on every push in the lint job. The wall time is
+// host-sensitive (the standard library parses from source), so it gates
+// loosely and same-machine only; the package count is recorded for context
+// but not gated. The module must come out clean: a finding or a type error
+// fails the scenario outright rather than silently skewing the timing.
+func huffvetScenario() (Metrics, error) {
+	root, err := benchModuleRoot()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("huffvet: %s: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.All())
+	wall := time.Since(start).Seconds()
+	if len(diags) != 0 {
+		return nil, fmt.Errorf("huffvet: module not clean: %s (and %d more)", diags[0], len(diags)-1)
+	}
+	return Metrics{
+		"huffvet_wall_seconds": wall,
+		"huffvet_packages":     float64(len(pkgs)),
+	}, nil
+}
+
+// benchModuleRoot walks up from the working directory to the nearest
+// go.mod, so the scenario works from the repo root (CI) or any subdir.
+func benchModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("huffvet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -224,6 +224,7 @@ func scenarios(env *benchEnv) []scenario {
 		{"encode_micro", encodeMicro},
 		{"daemon_restart", daemonRestart},
 		{"store_readpath", storeReadpath},
+		{"huffvet", huffvetScenario},
 	}
 }
 

@@ -91,11 +91,16 @@ var rules = map[string]rule{
 	// its shape — record/byte/segment counts, scan matches, model count —
 	// depends only on the code and gates across machines; the per-operation
 	// read latencies are host wall time and gate loosely, same-machine only.
-	"store_records":        {higherBetter: false, threshold: 1.05, deterministic: true},
-	"store_bytes":          {higherBetter: false, threshold: 1.1, deterministic: true},
-	"store_segments":       {higherBetter: false, threshold: 1.1, deterministic: true},
-	"scan_matches":         {higherBetter: false, threshold: 1.05, deterministic: true},
-	"aggregate_models":     {higherBetter: false, threshold: 1.05, deterministic: true},
+	"store_records":    {higherBetter: false, threshold: 1.05, deterministic: true},
+	"store_bytes":      {higherBetter: false, threshold: 1.1, deterministic: true},
+	"store_segments":   {higherBetter: false, threshold: 1.1, deterministic: true},
+	"scan_matches":     {higherBetter: false, threshold: 1.05, deterministic: true},
+	"aggregate_models": {higherBetter: false, threshold: 1.05, deterministic: true},
+	// Static-analysis pass (huffvet scenario): a full-module load plus all
+	// analyzers. Wall time is dominated by source-importing the standard
+	// library, which is host- and cache-sensitive, so the gate is loose and
+	// same-machine only; the package count is context, not a gate.
+	"huffvet_wall_seconds": {higherBetter: false, threshold: 2.5},
 	"open_seconds":         {higherBetter: false, threshold: 2.5},
 	"point_lookup_seconds": {higherBetter: false, threshold: 2.5},
 	"range_scan_seconds":   {higherBetter: false, threshold: 2.5},

@@ -110,11 +110,15 @@ type Ledger struct {
 
 	queries atomic.Int64
 
-	mu      sync.Mutex
-	snaps   []Snapshot
-	subs    map[int]chan Snapshot
+	mu sync.Mutex
+	// snaps is guarded by mu.
+	snaps []Snapshot
+	// subs is guarded by mu.
+	subs map[int]chan Snapshot
+	// nextSub is guarded by mu.
 	nextSub int
-	closed  bool
+	// closed is guarded by mu.
+	closed bool
 }
 
 // NewLedger returns an empty ledger. rec may be nil; snapshots are then
@@ -263,6 +267,19 @@ func (l *Ledger) Subscribe() (<-chan Snapshot, func()) {
 		l.mu.Unlock()
 	}
 	return ch, cancel
+}
+
+// Subscribers reports the number of live subscriptions. This is the
+// regression hook for the streaming handlers: after a client disconnects,
+// its subscription must be gone, or every abandoned stream pins a channel
+// (and its buffered replay) for the life of the campaign. Nil-safe.
+func (l *Ledger) Subscribers() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.subs)
 }
 
 // Close marks the ledger complete: subscriber channels are closed (after

@@ -1,0 +1,117 @@
+package lint
+
+// A module-level call-graph approximation shared by the flow-aware
+// analyzers. Resolution is purely static: a call site contributes an edge
+// only when the callee resolves to a concrete *types.Func declared in one of
+// the loaded packages (direct calls and method calls on concrete receivers).
+// Interface dispatch and function values stay unresolved — the analyzers
+// that consume the graph (crashsafe's recovery-call search, goroleak's
+// termination-signal search, lockguard's caller-side exemption) treat an
+// unresolved callee conservatively at their own layer.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph maps the module's declared functions to their bodies and their
+// statically resolvable callees.
+type CallGraph struct {
+	// Decls maps each declared function or method to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// DeclPkg maps each declared function to the package declaring it.
+	DeclPkg map[*types.Func]*Package
+	// Callees lists the module-internal functions each function calls
+	// directly (deduplicated, declaration order).
+	Callees map[*types.Func][]*types.Func
+	// Callers is the reverse of Callees.
+	Callers map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph indexes every function declaration across the loaded
+// packages and resolves the direct call edges between them.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	cg := &CallGraph{
+		Decls:   map[*types.Func]*ast.FuncDecl{},
+		DeclPkg: map[*types.Func]*Package{},
+		Callees: map[*types.Func][]*types.Func{},
+		Callers: map[*types.Func][]*types.Func{},
+	}
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue // nothing parsed in this package
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				cg.Decls[fn] = fd
+				cg.DeclPkg[fn] = pkg
+			}
+		}
+	}
+	for fn, fd := range cg.Decls {
+		if fd.Body == nil {
+			continue
+		}
+		pkg := cg.DeclPkg[fn]
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := calleeObject(pkg.Info, call).(*types.Func)
+			if !ok || seen[callee] {
+				return true
+			}
+			if _, declared := cg.Decls[callee]; !declared {
+				return true
+			}
+			seen[callee] = true
+			cg.Callees[fn] = append(cg.Callees[fn], callee)
+			cg.Callers[callee] = append(cg.Callers[callee], fn)
+			return true
+		})
+	}
+	return cg
+}
+
+// Walk visits fn and its transitive callees breadth-first up to the given
+// depth (depth 0 visits fn alone). Visiting stops early when visit returns
+// false. It reports whether the walk ran to completion.
+func (cg *CallGraph) Walk(fn *types.Func, depth int, visit func(fn *types.Func, decl *ast.FuncDecl) bool) bool {
+	type item struct {
+		fn *types.Func
+		d  int
+	}
+	seen := map[*types.Func]bool{fn: true}
+	queue := []item{{fn, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		decl := cg.Decls[it.fn]
+		if decl == nil {
+			continue
+		}
+		if !visit(it.fn, decl) {
+			return false
+		}
+		if it.d >= depth {
+			continue
+		}
+		for _, callee := range cg.Callees[it.fn] {
+			if !seen[callee] {
+				seen[callee] = true
+				queue = append(queue, item{callee, it.d + 1})
+			}
+		}
+	}
+	return true
+}

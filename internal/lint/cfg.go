@@ -1,0 +1,405 @@
+package lint
+
+// Intra-procedural control-flow graphs over go/ast, built from scratch on
+// the standard library only. The flow-aware analyzers (crashsafe, lockguard)
+// need to reason about *paths* — "is the lock held on every route to this
+// field access", "does the failed-fsync edge fall through to offset reuse" —
+// which the purely syntactic walks of the first-generation analyzers cannot
+// express. A Graph decomposes one function body into basic blocks joined by
+// edges; branch edges carry the controlling condition and its value, so a
+// dataflow pass (dataflow.go) can prune paths a config flag makes
+// infeasible (e.g. the NoSync test-only branches).
+//
+// The builder covers the statement forms this module uses: if/else, for,
+// range, switch, type switch, select, labeled statements, break/continue/
+// goto/fallthrough, return, and panic-like terminators. Function literals
+// are treated as opaque values — each literal body gets its own Graph.
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: a maximal run of straight-line code. Nodes holds
+// the leaf statements executed in order, plus the condition expressions
+// evaluated at the block's end (an if or for condition); compound statements
+// never appear — their pieces are distributed across blocks.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control-flow edge. Cond is non-nil on the two branch edges of
+// an if or for condition; Branch is the value Cond takes along the edge.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Branch   bool
+}
+
+// Graph is the CFG of one function body. Entry has no predecessors; every
+// return, panic, and fall-off-the-end path edges into Exit.
+type Graph struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *Graph {
+	b := &cfgBuilder{g: &Graph{}, labels: map[string]*labelInfo{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit, nil, false)
+	}
+	return b.g
+}
+
+// loopFrame tracks the jump targets a break or continue resolves to.
+type loopFrame struct {
+	label     string
+	breakTo   *Block
+	contTo    *Block // nil inside switch/select frames
+	isLoop    bool
+	nextCase  *Block // fallthrough target inside a switch case
+	savedNext *Block
+}
+
+// labelInfo is a goto/labeled-statement target, created on first reference
+// so forward gotos resolve.
+type labelInfo struct {
+	block *Block
+}
+
+type cfgBuilder struct {
+	g      *Graph
+	cur    *Block // nil while the current position is unreachable
+	frames []*loopFrame
+	labels map[string]*labelInfo
+	// pendingLabel names the label attached to the next loop/switch, so
+	// labeled break/continue resolve to the right frame.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, branch bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Branch: branch}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// add appends a leaf node to the current block (no-op while unreachable).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// start makes blk current, linking from the previous block when reachable.
+func (b *cfgBuilder) start(blk *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, blk, nil, false)
+	}
+	b.cur = blk
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminates reports whether a call expression never returns (panic and the
+// handful of process-exit calls this module could plausibly grow).
+func terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return (id.Name == "os" && fun.Sel.Name == "Exit") ||
+				(id.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf"))
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(st.List)
+	case *ast.IfStmt:
+		b.ifStmt(st)
+	case *ast.ForStmt:
+		b.forStmt(st, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(st, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(st, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(st, label)
+	case *ast.SelectStmt:
+		b.selectStmt(st, label)
+	case *ast.LabeledStmt:
+		b.labeledStmt(st)
+	case *ast.ReturnStmt:
+		b.add(st)
+		if b.cur != nil {
+			b.edge(b.cur, b.g.Exit, nil, false)
+		}
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(st)
+	case *ast.ExprStmt:
+		b.add(st)
+		if call, ok := st.X.(*ast.CallExpr); ok && terminates(call) {
+			if b.cur != nil {
+				b.edge(b.cur, b.g.Exit, nil, false)
+			}
+			b.cur = nil
+		}
+	default:
+		// Leaf statements: assignments, declarations, defer, go, send,
+		// inc/dec, empty.
+		b.add(st)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(st *ast.IfStmt) {
+	if st.Init != nil {
+		b.add(st.Init)
+	}
+	b.add(st.Cond)
+	cond := b.cur
+	join := b.newBlock()
+	then := b.newBlock()
+	if cond != nil {
+		b.edge(cond, then, st.Cond, true)
+	}
+	b.cur = then
+	b.stmts(st.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, join, nil, false)
+	}
+	if st.Else != nil {
+		els := b.newBlock()
+		if cond != nil {
+			b.edge(cond, els, st.Cond, false)
+		}
+		b.cur = els
+		b.stmt(st.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join, nil, false)
+		}
+	} else if cond != nil {
+		b.edge(cond, join, st.Cond, false)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(st *ast.ForStmt, label string) {
+	if st.Init != nil {
+		b.add(st.Init)
+	}
+	head := b.newBlock()
+	b.start(head)
+	after := b.newBlock()
+	body := b.newBlock()
+	if st.Cond != nil {
+		b.add(st.Cond)
+		b.edge(head, body, st.Cond, true)
+		b.edge(head, after, st.Cond, false)
+	} else {
+		// for {}: after is reachable only through break.
+		b.edge(head, body, nil, false)
+	}
+	post := head
+	if st.Post != nil {
+		post = b.newBlock()
+		b.cur = post
+		b.add(st.Post)
+		b.edge(post, head, nil, false)
+	}
+	b.frames = append(b.frames, &loopFrame{label: label, breakTo: after, contTo: post, isLoop: true})
+	b.cur = body
+	b.stmts(st.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, post, nil, false)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(st *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.start(head)
+	head.Nodes = append(head.Nodes, st) // the range clause itself (X, Key, Value)
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body, nil, false)
+	b.edge(head, after, nil, false)
+	b.frames = append(b.frames, &loopFrame{label: label, breakTo: after, contTo: head, isLoop: true})
+	b.cur = body
+	b.stmts(st.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head, nil, false)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(st *ast.SwitchStmt, label string) {
+	if st.Init != nil {
+		b.add(st.Init)
+	}
+	if st.Tag != nil {
+		b.add(st.Tag)
+	}
+	b.caseClauses(st.Body.List, label, func(cc *ast.CaseClause) []ast.Node {
+		nodes := make([]ast.Node, len(cc.List))
+		for i, e := range cc.List {
+			nodes[i] = e
+		}
+		return nodes
+	})
+}
+
+func (b *cfgBuilder) typeSwitchStmt(st *ast.TypeSwitchStmt, label string) {
+	if st.Init != nil {
+		b.add(st.Init)
+	}
+	b.add(st.Assign)
+	b.caseClauses(st.Body.List, label, func(cc *ast.CaseClause) []ast.Node { return nil })
+}
+
+// caseClauses builds the shared shape of switch and type-switch bodies.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	join := b.newBlock()
+	frame := &loopFrame{label: label, breakTo: join}
+	b.frames = append(b.frames, frame)
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		bodies[i] = b.newBlock()
+		if len(cc.List) == 0 {
+			hasDefault = true
+		}
+		bodies[i].Nodes = append(bodies[i].Nodes, caseNodes(cc)...)
+		if head != nil {
+			b.edge(head, bodies[i], nil, false)
+		}
+	}
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		frame.nextCase = nil
+		if i+1 < len(bodies) {
+			frame.nextCase = bodies[i+1]
+		}
+		b.cur = bodies[i]
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join, nil, false)
+		}
+	}
+	if !hasDefault && head != nil {
+		b.edge(head, join, nil, false)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(st *ast.SelectStmt, label string) {
+	head := b.cur
+	join := b.newBlock()
+	frame := &loopFrame{label: label, breakTo: join}
+	b.frames = append(b.frames, frame)
+	for _, cs := range st.Body.List {
+		cc := cs.(*ast.CommClause)
+		body := b.newBlock()
+		if cc.Comm != nil {
+			body.Nodes = append(body.Nodes, cc.Comm)
+		}
+		if head != nil {
+			b.edge(head, body, nil, false)
+		}
+		b.cur = body
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join, nil, false)
+		}
+	}
+	if len(st.Body.List) == 0 && head != nil {
+		// select {} blocks forever: no edge to join.
+		b.cur = nil
+		b.frames = b.frames[:len(b.frames)-1]
+		return
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) labeledStmt(st *ast.LabeledStmt) {
+	li := b.label(st.Label.Name)
+	b.start(li.block)
+	b.pendingLabel = st.Label.Name
+	b.stmt(st.Stmt)
+}
+
+func (b *cfgBuilder) label(name string) *labelInfo {
+	if li, ok := b.labels[name]; ok {
+		return li
+	}
+	li := &labelInfo{block: b.newBlock()}
+	b.labels[name] = li
+	return li
+}
+
+func (b *cfgBuilder) branchStmt(st *ast.BranchStmt) {
+	if b.cur == nil {
+		return
+	}
+	name := ""
+	if st.Label != nil {
+		name = st.Label.Name
+	}
+	switch st.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if name == "" || f.label == name {
+				b.edge(b.cur, f.breakTo, nil, false)
+				break
+			}
+		}
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.isLoop && (name == "" || f.label == name) {
+				b.edge(b.cur, f.contTo, nil, false)
+				break
+			}
+		}
+	case "goto":
+		b.edge(b.cur, b.label(name).block, nil, false)
+	case "fallthrough":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].nextCase != nil {
+				b.edge(b.cur, b.frames[i].nextCase, nil, false)
+				break
+			}
+		}
+	}
+	b.cur = nil
+}

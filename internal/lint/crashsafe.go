@@ -1,0 +1,458 @@
+package lint
+
+// crashsafe enforces the durability discipline of the persistence layers
+// (internal/store, internal/telemetry): data reaches disk before the
+// operations that publish it, and failed writes never leave a handle whose
+// in-memory bookkeeping has drifted from the bytes on disk.
+//
+// Two rules, both over the CFG/dataflow core:
+//
+// Rule A — unsynced rename. A forward dataflow tracks, per *os.File
+// expression, whether it carries written-but-unsynced data. Write-family
+// calls mark the handle dirty, Sync clears it; Close does NOT clear it
+// (close flushes to the page cache, not to the platter — the exact torn-
+// sidecar shape PR 9's review caught). os.WriteFile never syncs, so its
+// target path stays permanently dirty. Reaching an os.Rename while any
+// handle is dirty on a feasible path is reported: rename is the publish
+// point, and publishing unsynced bytes means a crash can expose a torn
+// file under the final name. Branches on a cfg `NoSync` flag are pruned to
+// the production value (false), so the test-only fsync bypass does not
+// poison every path.
+//
+// Rule B — failed write/fsync falling through. When `err != nil` guards
+// the result of a Write/Sync on a durable (non-scratch) *os.File, the
+// error path must do something that re-establishes a known state: close,
+// truncate, stat-reconcile, reopen, remove, or crash — directly or through
+// a module function within two calls. An error path that just returns
+// leaves the handle appendable with torn bytes and stale cached offsets;
+// the next append concatenates onto garbage (the PR 9 failed-fsync bug,
+// encoded). Scratch files (opened under a *.tmp path and abandoned on
+// error) are exempt: their torn bytes are never renamed into place.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CrashSafe is the durability-discipline analyzer.
+var CrashSafe = &Analyzer{
+	Name: "crashsafe",
+	Doc: "Durability files must be fsynced before rename, and write/fsync " +
+		"error paths must seal or reopen the handle instead of falling " +
+		"through with stale in-memory state.",
+	Paths: []string{"internal/store", "internal/telemetry"},
+	Run:   runCrashSafe,
+}
+
+func runCrashSafe(pass *Pass) {
+	eachFuncBody(pass.Pkg.Files, func(body *ast.BlockStmt) {
+		crashSafeRuleA(pass, body)
+		crashSafeRuleB(pass, body)
+	})
+}
+
+// dirtyFacts is Rule A's lattice value: the set of handle expressions (by
+// source text) carrying written-but-unsynced data.
+type dirtyFacts map[string]bool
+
+type crashProblem struct {
+	info *types.Info
+}
+
+func (p *crashProblem) Entry() dirtyFacts { return dirtyFacts{} }
+
+func (p *crashProblem) Transfer(f dirtyFacts, n ast.Node) dirtyFacts {
+	var dirty, clean []string
+	inspectCalls(n, func(call *ast.CallExpr) {
+		if recv, name, ok := osFileMethod(p.info, call); ok {
+			key := types.ExprString(recv)
+			switch name {
+			case "Write", "WriteString", "WriteAt", "ReadFrom":
+				dirty = append(dirty, key)
+			case "Sync":
+				clean = append(clean, key)
+			}
+			return
+		}
+		if path, fn, ok := pkgCall(p.info, call); ok && path == "os" &&
+			fn == "WriteFile" && len(call.Args) > 0 {
+			// os.WriteFile closes without syncing: the written path can
+			// stay dirty in the page cache indefinitely.
+			dirty = append(dirty, "os.WriteFile("+types.ExprString(call.Args[0])+")")
+		}
+	})
+	if len(dirty) == 0 && len(clean) == 0 {
+		return f
+	}
+	out := make(dirtyFacts, len(f)+len(dirty))
+	for k := range f {
+		out[k] = true
+	}
+	for _, k := range clean {
+		delete(out, k)
+	}
+	for _, k := range dirty {
+		out[k] = true
+	}
+	return out
+}
+
+func (p *crashProblem) Merge(a, b dirtyFacts) dirtyFacts {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(dirtyFacts, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (p *crashProblem) Equal(a, b dirtyFacts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Edge prunes branches on a NoSync config flag to its production value
+// (false): the fsync-bypass paths exist for tests only.
+func (p *crashProblem) Edge(f dirtyFacts, e *Edge) (dirtyFacts, bool) {
+	if e.Cond == nil {
+		return f, true
+	}
+	if match, negated := noSyncCond(e.Cond); match {
+		return f, e.Branch == negated
+	}
+	return f, true
+}
+
+// noSyncCond matches the conditions `x.NoSync` and `!x.NoSync`.
+func noSyncCond(cond ast.Expr) (match, negated bool) {
+	cond = ast.Unparen(cond)
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		m, _ := noSyncCond(u.X)
+		return m, true
+	}
+	if sel, ok := cond.(*ast.SelectorExpr); ok && sel.Sel.Name == "NoSync" {
+		return true, false
+	}
+	return false, false
+}
+
+func crashSafeRuleA(pass *Pass, body *ast.BlockStmt) {
+	prob := &crashProblem{info: pass.Pkg.Info}
+	g := pass.Pkg.CFG(body)
+	res := Solve[dirtyFacts](g, prob)
+	res.Walk(g, func(f dirtyFacts, n ast.Node) {
+		inspectCalls(n, func(call *ast.CallExpr) {
+			path, fn, ok := pkgCall(pass.Pkg.Info, call)
+			if !ok || path != "os" || fn != "Rename" || len(f) == 0 {
+				return
+			}
+			keys := make([]string, 0, len(f))
+			for k := range f {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pass.Reportf(call.Pos(), "os.Rename while %s is written but not fsynced; "+
+				"a crash after the rename can publish a torn file under the final name",
+				strings.Join(keys, ", "))
+		})
+	})
+}
+
+// crashSafeRuleB walks every `if err != nil` guarding a Write/Sync on a
+// durable handle and demands a recovery action on the error path.
+func crashSafeRuleB(pass *Pass, body *ast.BlockStmt) {
+	scratch := scratchLocals(pass.Pkg.Info, body)
+	eachStmtList(body, func(list []ast.Stmt) {
+		for i, st := range list {
+			ifSt, ok := st.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			var prev ast.Stmt
+			if i > 0 {
+				prev = list[i-1]
+			}
+			checkErrGuard(pass, ifSt, prev, scratch)
+		}
+	})
+}
+
+func checkErrGuard(pass *Pass, ifSt *ast.IfStmt, prev ast.Stmt, scratch map[types.Object]bool) {
+	errIdent := errNilCond(pass.Pkg.Info, ifSt.Cond)
+	if errIdent == nil {
+		return
+	}
+	origin := originCall(pass.Pkg.Info, ifSt, prev, errIdent)
+	if origin == nil {
+		return
+	}
+	recv, name, ok := osFileMethod(pass.Pkg.Info, origin)
+	if !ok {
+		return
+	}
+	switch name {
+	case "Write", "WriteString", "WriteAt", "ReadFrom", "Sync":
+	default:
+		return
+	}
+	if id, ok := ast.Unparen(recv).(*ast.Ident); ok {
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil && scratch[obj] {
+			return // abandoned *.tmp scratch file: torn bytes are never published
+		}
+	}
+	if hasRecovery(pass, ifSt.Body, 2) {
+		return
+	}
+	pass.Reportf(origin.Pos(), "a failed %s on %s leaves torn bytes and stale cached state behind; "+
+		"the error path must seal, truncate, or reopen the handle (or crash) before returning",
+		name, types.ExprString(recv))
+}
+
+// errNilCond matches `x != nil` where x is an identifier of type error,
+// returning the identifier.
+func errNilCond(info *types.Info, cond ast.Expr) *ast.Ident {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil
+	}
+	id, ok := ast.Unparen(bin.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if nilID, ok := ast.Unparen(bin.Y).(*ast.Ident); !ok || nilID.Name != "nil" {
+		return nil
+	}
+	if tv, ok := info.Types[bin.X]; !ok || !isErrorType(tv.Type) {
+		return nil
+	}
+	return id
+}
+
+// originCall finds the call whose error the if statement guards: the init
+// clause (`if _, err := f.Write(b); err != nil`) or the immediately
+// preceding assignment (`err := f.Sync(); if err != nil`).
+func originCall(info *types.Info, ifSt *ast.IfStmt, prev ast.Stmt, errIdent *ast.Ident) *ast.CallExpr {
+	if call := assignedCall(info, ifSt.Init, errIdent); call != nil {
+		return call
+	}
+	if ifSt.Init == nil {
+		return assignedCall(info, prev, errIdent)
+	}
+	return nil
+}
+
+// assignedCall returns the call expression st assigns to errIdent, if any.
+func assignedCall(info *types.Info, st ast.Stmt, errIdent *ast.Ident) *ast.CallExpr {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	errObj := info.Uses[errIdent]
+	if errObj == nil {
+		errObj = info.Defs[errIdent]
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && obj == errObj {
+			return call
+		}
+	}
+	return nil
+}
+
+// hasRecovery reports whether the error path re-establishes a known handle
+// state: a close/truncate/stat/seek on a file, a filesystem operation that
+// replaces or removes state, a crash, or a module function that does one of
+// those within depth calls.
+func hasRecovery(pass *Pass, body ast.Node, depth int) bool {
+	found := false
+	inspectCalls(body, func(call *ast.CallExpr) {
+		if found {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			found = true
+			return
+		}
+		if _, name, ok := osFileMethod(pass.Pkg.Info, call); ok {
+			switch name {
+			case "Close", "Truncate", "Stat", "Seek":
+				found = true
+			}
+			return
+		}
+		if path, fn, ok := pkgCall(pass.Pkg.Info, call); ok {
+			if path == "os" {
+				switch fn {
+				case "OpenFile", "Open", "Create", "Remove", "Rename", "Truncate", "Exit":
+					found = true
+				}
+			}
+			if path == "log" && strings.HasPrefix(fn, "Fatal") {
+				found = true
+			}
+			return
+		}
+		if depth > 0 && pass.Calls != nil {
+			if callee, ok := calleeObject(pass.Pkg.Info, call).(*types.Func); ok {
+				if decl := pass.Calls.Decls[callee]; decl != nil && decl.Body != nil {
+					calleePass := pass
+					if declPkg := pass.Calls.DeclPkg[callee]; declPkg != nil {
+						calleePass = &Pass{Analyzer: pass.Analyzer, Pkg: declPkg, Calls: pass.Calls, diags: pass.diags}
+					}
+					if hasRecovery(calleePass, decl.Body, depth-1) {
+						found = true
+					}
+				}
+			}
+		}
+	})
+	return found
+}
+
+// scratchLocals collects local variables opened on a *.tmp path: scratch
+// files whose torn bytes are abandoned, not published.
+func scratchLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, fn, ok := pkgCall(info, call)
+		if !ok || path != "os" {
+			return true
+		}
+		switch fn {
+		case "CreateTemp":
+		case "OpenFile", "Create":
+			if len(call.Args) == 0 || !mentionsTmp(call.Args[0]) {
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mentionsTmp reports whether a path expression references a temporary
+// name: a ".tmp" string literal or an identifier named after one.
+func mentionsTmp(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BasicLit:
+			if v.Kind == token.STRING && strings.Contains(v.Value, ".tmp") {
+				found = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(v.Name), "tmp") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// inspectCalls visits every call expression under n, without descending
+// into function literals (their bodies are separate functions).
+func inspectCalls(n ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// osFileMethod matches a method call on an *os.File-typed receiver,
+// returning the receiver expression and the method name.
+func osFileMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return nil, "", false
+	}
+	tv, okT := info.Types[sel.X]
+	if !okT || !isOSFile(tv.Type) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// isOSFile reports whether t is *os.File.
+func isOSFile(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// eachStmtList visits every statement list (block bodies, case bodies)
+// under body, including body itself.
+func eachStmtList(body *ast.BlockStmt, fn func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			fn(v.List)
+		case *ast.CaseClause:
+			fn(v.Body)
+		case *ast.CommClause:
+			fn(v.Body)
+		}
+		return true
+	})
+}

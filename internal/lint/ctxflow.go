@@ -1,0 +1,121 @@
+package lint
+
+// ctxflow enforces cancellation plumbing through the attack pipeline and
+// the daemon internals. Two rules:
+//
+// Rule 1 — no fresh root contexts. context.Background() and context.TODO()
+// inside the scoped packages sever the caller's cancellation chain: work
+// started under them survives client disconnects and daemon shutdown. The
+// daemon's own root (created once at construction) is the deliberate
+// exception, suppressed with an explanatory directive.
+//
+// Rule 2 — thread the context you were given. A function that receives a
+// context.Context and calls a module function F for which a context-aware
+// sibling FContext(ctx, ...) exists must call the sibling: calling the
+// plain form from a context-carrying function silently drops cancellation
+// on the floor.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow is the context-propagation analyzer.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "No context.Background()/TODO() inside the attack pipeline or " +
+		"daemon internals, and functions holding a ctx must call the " +
+		"Context-suffixed sibling of any module function that has one.",
+	Paths: []string{"internal/huffduff", "internal/probe", "internal/telemetry"},
+	Run:   runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, fn, ok := pkgCall(info, call); ok && path == "context" &&
+				(fn == "Background" || fn == "TODO") {
+				pass.Reportf(call.Pos(), "context.%s severs the caller's cancellation chain; "+
+					"accept and thread a context.Context instead", fn)
+			}
+			return true
+		})
+	}
+	eachFuncDecl(pass.Pkg.Files, func(fd *ast.FuncDecl) {
+		if !hasCtxParam(info, fd) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := calleeObject(info, call).(*types.Func)
+			if !ok || strings.HasSuffix(callee.Name(), "Context") {
+				return true
+			}
+			if pass.Calls == nil || pass.Calls.Decls[callee] == nil {
+				return true // only module functions have siblings worth enforcing
+			}
+			if sibling := contextSibling(callee); sibling != nil {
+				pass.Reportf(call.Pos(), "this function holds a ctx but calls %s, which drops it; "+
+					"call %s(ctx, ...) so cancellation propagates", callee.Name(), sibling.Name())
+			}
+			return true
+		})
+	})
+}
+
+// eachFuncDecl visits every function declaration with a body.
+func eachFuncDecl(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// hasCtxParam reports whether the function receives a context.Context.
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		if tv, ok := info.Types[p.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextSibling finds a function named <callee>Context in the callee's
+// package whose first parameter is a context.Context — the context-aware
+// form the caller should be using.
+func contextSibling(callee *types.Func) *types.Func {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return nil // methods resolve their sibling through the receiver type; keep to functions
+	}
+	obj := pkg.Scope().Lookup(callee.Name() + "Context")
+	sibling, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	ssig, ok := sibling.Type().(*types.Signature)
+	if !ok || ssig.Params().Len() == 0 || !isContextType(ssig.Params().At(0).Type()) {
+		return nil
+	}
+	return sibling
+}

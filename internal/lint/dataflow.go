@@ -1,0 +1,125 @@
+package lint
+
+// A small forward dataflow solver over the CFGs of cfg.go. Each analyzer
+// supplies its own lattice through the FlowProblem interface: an entry fact,
+// a transfer function applied node-by-node inside a block, a merge at join
+// points, and (optionally) an edge filter that refines or kills facts along
+// branch edges — how crashsafe prunes the NoSync-conditional fsync branches
+// that would otherwise make every production write look unsynced.
+//
+// The solver is a plain worklist iteration to fixpoint. Lattices in this
+// package are tiny (a handful of keys with three-valued states), so
+// termination never needs widening; Equal bounds the iteration.
+
+import "go/ast"
+
+// FlowProblem describes one forward dataflow analysis with fact type F.
+type FlowProblem[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Transfer applies one leaf node to a fact, returning the fact after it.
+	// Implementations must not mutate the input fact in place.
+	Transfer(f F, n ast.Node) F
+	// Merge combines facts arriving at a join point.
+	Merge(a, b F) F
+	// Equal reports whether two facts are equivalent (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// EdgeFilter is implemented by problems that refine facts along branch
+// edges. Returning ok=false kills the edge: the fact does not propagate
+// (the branch is infeasible under the current fact).
+type EdgeFilter[F any] interface {
+	Edge(f F, e *Edge) (F, bool)
+}
+
+// FlowResult holds the solved facts: the fact on entry to each block.
+type FlowResult[F any] struct {
+	In      map[*Block]F
+	problem FlowProblem[F]
+}
+
+// Solve runs the worklist iteration to fixpoint and returns the per-block
+// entry facts.
+func Solve[F any](g *Graph, p FlowProblem[F]) *FlowResult[F] {
+	res := &FlowResult[F]{In: make(map[*Block]F, len(g.Blocks)), problem: p}
+	filter, _ := p.(EdgeFilter[F])
+	res.In[g.Entry] = p.Entry()
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := res.In[blk]
+		for _, n := range blk.Nodes {
+			out = p.Transfer(out, n)
+		}
+		for _, e := range blk.Succs {
+			f := out
+			if filter != nil {
+				var ok bool
+				if f, ok = filter.Edge(f, e); !ok {
+					continue
+				}
+			}
+			prev, seen := res.In[e.To]
+			next := f
+			if seen {
+				next = p.Merge(prev, f)
+				if p.Equal(prev, next) {
+					continue
+				}
+			}
+			res.In[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return res
+}
+
+// Walk replays the transfer function over every reachable block, calling
+// visit with the fact in force immediately before each node. This is how
+// analyzers report: the solved entry facts position each block, and the
+// replay recovers the exact fact at each statement.
+func (r *FlowResult[F]) Walk(g *Graph, visit func(f F, n ast.Node)) {
+	for _, blk := range g.Blocks {
+		f, ok := r.In[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			visit(f, n)
+			f = r.problem.Transfer(f, n)
+		}
+	}
+}
+
+// ExitFacts returns the facts flowing into Exit along each of its incoming
+// edges, after the source block's transfers and the problem's edge filter.
+// Analyzers that check a property "at every return" (lockguard's lock-leak)
+// consume this.
+func (r *FlowResult[F]) ExitFacts(g *Graph) []F {
+	filter, _ := r.problem.(EdgeFilter[F])
+	var out []F
+	for _, e := range g.Exit.Preds {
+		f, ok := r.In[e.From]
+		if !ok {
+			continue
+		}
+		for _, n := range e.From.Nodes {
+			f = r.problem.Transfer(f, n)
+		}
+		if filter != nil {
+			var keep bool
+			if f, keep = filter.Edge(f, e); !keep {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}

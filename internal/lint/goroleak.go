@@ -1,0 +1,188 @@
+package lint
+
+// goroleak enforces goroutine lifecycle discipline in the long-lived
+// subsystems (store, daemon, convergence ledger): every `go` statement
+// whose body loops must be able to observe a termination signal, or the
+// goroutine outlives its owner — the subscriber/stream leak class the
+// ROADMAP's fleet work would otherwise multiply.
+//
+// A spawned body passes if it contains no loop (it runs to completion on
+// its own), or if the body — or a module function it calls within three
+// hops — reaches any of: a ctx.Done() receive, a channel receive (a closed
+// quit channel unblocks it), a range over a channel (terminates when the
+// channel closes), or sync.WaitGroup tracking (Done/Wait — the owner
+// awaits it). Dynamically dispatched spawns (function values) are skipped:
+// the callee cannot be resolved statically, and guessing would make the
+// analyzer cry wolf.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak is the goroutine-termination analyzer.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "Every goroutine spawned in the daemon/store/converge packages " +
+		"must reach a termination signal: ctx.Done(), a closed quit " +
+		"channel, or a tracked sync.WaitGroup.",
+	Paths: []string{"internal/store", "internal/telemetry", "internal/converge"},
+	Run:   runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			goSt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, callee := spawnedBody(pass, goSt.Call)
+			if body == nil {
+				return true // dynamic spawn: unresolvable, skip
+			}
+			if !containsLoop(body) {
+				return true // straight-line goroutine: finishes on its own
+			}
+			if terminationSignal(pass, body, callee, 3) {
+				return true
+			}
+			pass.Reportf(goSt.Pos(), "goroutine loops with no reachable termination signal "+
+				"(ctx.Done, channel receive, or WaitGroup tracking); it outlives its owner — "+
+				"thread a quit channel or context through it")
+			return true
+		})
+	}
+}
+
+// spawnedBody resolves the body a go statement runs: a function literal
+// directly, or the declaration of a statically resolvable callee.
+func spawnedBody(pass *Pass, call *ast.CallExpr) (*ast.BlockStmt, *types.Func) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, nil
+	}
+	callee, ok := calleeObject(pass.Pkg.Info, call).(*types.Func)
+	if !ok || pass.Calls == nil {
+		return nil, nil
+	}
+	decl := pass.Calls.Decls[callee]
+	if decl == nil {
+		return nil, nil
+	}
+	return decl.Body, callee
+}
+
+// containsLoop reports whether the body has any for/range statement,
+// including inside nested literals (a looping closure the goroutine calls
+// still loops on the goroutine's stack).
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// terminationSignal searches the body, and the bodies of module functions
+// it calls up to depth hops away, for an observable shutdown signal.
+func terminationSignal(pass *Pass, body *ast.BlockStmt, fn *types.Func, depth int) bool {
+	if hasSignal(pass.Pkg.Info, body) {
+		return true
+	}
+	if depth == 0 || pass.Calls == nil {
+		return false
+	}
+	// Collect module callees of the body and recurse into their packages'
+	// type info through the call graph.
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := calleeObject(pass.Pkg.Info, call).(*types.Func)
+		if !ok || callee == fn {
+			return true
+		}
+		decl := pass.Calls.Decls[callee]
+		if decl == nil || decl.Body == nil {
+			return true
+		}
+		calleePass := pass
+		if declPkg := pass.Calls.DeclPkg[callee]; declPkg != nil && declPkg != pass.Pkg {
+			calleePass = &Pass{Analyzer: pass.Analyzer, Pkg: declPkg, Calls: pass.Calls, diags: pass.diags}
+		}
+		if terminationSignal(calleePass, decl.Body, callee, depth-1) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// hasSignal reports whether the body itself observes a termination signal.
+func hasSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			// <-ch: a receive; a closed quit channel unblocks it.
+			if v.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// range over a channel terminates when the channel closes.
+			if tv, ok := info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok {
+					if isContextType(tv.Type) && sel.Sel.Name == "Done" {
+						found = true
+					}
+					if isWaitGroup(tv.Type) && (sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (possibly a pointer).
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

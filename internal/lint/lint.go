@@ -75,6 +75,10 @@ func (a *Analyzer) applies(pkgPath string) bool {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Calls is the module-level call graph over every package of the run,
+	// for analyzers that chase facts across function boundaries. Nil when
+	// the driver runs without one (unit harnesses).
+	Calls *CallGraph
 
 	diags *[]Diagnostic
 }
@@ -100,6 +104,10 @@ type ignoreDirective struct {
 	analyzers []string // analyzer names, comma-separated in the source
 	reason    string
 	pos       token.Position
+	// used records, per analyzer name, whether the directive actually
+	// silenced a finding during the run. A directive naming an analyzer
+	// that ran but never fired at the site is stale, and reported.
+	used map[string]bool
 }
 
 // covers reports whether the directive silences the named analyzer.
@@ -117,10 +125,12 @@ const directivePrefix = "//lint:ignore"
 
 // parseDirectives extracts every //lint:ignore directive of a file, keyed by
 // the line the directive covers: its own line (trailing-comment form) and
-// the line below it (preceding-comment form). Malformed directives — no
-// analyzer name, or no reason — are returned separately so the engine can
-// report them: an unexplained suppression is itself a violation.
-func parseDirectives(fset *token.FileSet, f *ast.File) (byLine map[string][]*ignoreDirective, malformed []Diagnostic) {
+// the line below it (preceding-comment form). The flat list holds each
+// directive once (the line map double-keys them) for staleness reporting.
+// Malformed directives — no analyzer name, or no reason — are returned
+// separately so the engine can report them: an unexplained suppression is
+// itself a violation.
+func parseDirectives(fset *token.FileSet, f *ast.File) (byLine map[string][]*ignoreDirective, all []*ignoreDirective, malformed []Diagnostic) {
 	byLine = map[string][]*ignoreDirective{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -144,14 +154,16 @@ func parseDirectives(fset *token.FileSet, f *ast.File) (byLine map[string][]*ign
 				analyzers: strings.Split(fields[0], ","),
 				reason:    strings.Join(fields[1:], " "),
 				pos:       pos,
+				used:      map[string]bool{},
 			}
+			all = append(all, d)
 			for _, line := range []int{pos.Line, pos.Line + 1} {
 				key := lineKey(pos.Filename, line)
 				byLine[key] = append(byLine[key], d)
 			}
 		}
 	}
-	return byLine, malformed
+	return byLine, all, malformed
 }
 
 // lineKey keys the suppression map by file and line.
@@ -162,17 +174,41 @@ func lineKey(file string, line int) string {
 // RunAnalyzers applies every applicable analyzer to every package and
 // returns the surviving diagnostics sorted by file, line, and column.
 // Malformed suppression directives are reported alongside analyzer
-// findings.
+// findings, as are stale ones: a directive naming an analyzer that ran over
+// its package but silenced nothing documents a violation that no longer
+// exists, and must be pruned so suppressions stay an accurate audit trail.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	cg := BuildCallGraph(pkgs)
+	ran := map[string]bool{}
 	for _, pkg := range pkgs {
 		diags = append(diags, pkg.malformed...)
+		if pkg.Types == nil {
+			continue // nothing parsed; the driver reports pkg.TypeErrors
+		}
 		for _, a := range analyzers {
 			if !a.applies(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			ran[a.Name] = true
+			pass := &Pass{Analyzer: a, Pkg: pkg, Calls: cg, diags: &diags}
 			a.Run(pass)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, d := range pkg.directives {
+			for _, name := range d.analyzers {
+				if name == "*" || !ran[name] || d.used[name] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "ignore",
+					File:     d.pos.Filename,
+					Line:     d.pos.Line,
+					Col:      d.pos.Column,
+					Message:  fmt.Sprintf("stale directive: %s does not fire here; remove the suppression", name),
+				})
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -74,6 +74,18 @@ func TestGolden(t *testing.T) {
 		{"wrapcheck", "test/internal/huffduff", "wrapcheck", true},
 		{"maporder", "test/pkg/export", "maporder", true},
 		{"ignore", "test/pkg/ignore", "globalrand", true},
+		// Flow-aware analyzers: each dirty package is loaded under an import
+		// path inside the analyzer's scope, and its clean twin (same shapes,
+		// done right) must produce an empty golden.
+		{"crashsafe", "test2/internal/store", "crashsafe", true},
+		{"crashsafe_clean", "test3/internal/store", "crashsafe", false},
+		{"lockguard", "test2/internal/converge", "lockguard", true},
+		{"lockguard_clean", "test3/internal/converge", "lockguard", false},
+		{"goroleak", "test2/internal/telemetry", "goroleak", true},
+		{"goroleak_clean", "test3/internal/telemetry", "goroleak", false},
+		{"ctxflow", "test2/internal/huffduff", "ctxflow", true},
+		{"ctxflow_clean", "test3/internal/huffduff", "ctxflow", false},
+		{"staleignore", "test/pkg/staleignore", "globalrand", true},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

@@ -1,14 +1,17 @@
 package lint
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -27,19 +30,37 @@ type Package struct {
 	// checked, but the driver surfaces these and fails the run.
 	TypeErrors []error
 
-	ignores   map[string][]*ignoreDirective
-	malformed []Diagnostic
+	ignores    map[string][]*ignoreDirective
+	directives []*ignoreDirective
+	malformed  []Diagnostic
+	cfgs       map[*ast.BlockStmt]*Graph
 }
 
 // suppressed reports whether an //lint:ignore directive covers the analyzer
-// at the given position.
+// at the given position, marking the directive used so unused ones surface
+// as stale.
 func (p *Package) suppressed(analyzer string, pos token.Position) bool {
 	for _, d := range p.ignores[lineKey(pos.Filename, pos.Line)] {
 		if d.covers(analyzer) {
+			d.used[analyzer] = true
 			return true
 		}
 	}
 	return false
+}
+
+// CFG returns the control-flow graph of one function body of this package,
+// memoized so analyzers sharing a body share the graph.
+func (p *Package) CFG(body *ast.BlockStmt) *Graph {
+	if g, ok := p.cfgs[body]; ok {
+		return g
+	}
+	if p.cfgs == nil {
+		p.cfgs = map[*ast.BlockStmt]*Graph{}
+	}
+	g := BuildCFG(body)
+	p.cfgs[body] = g
+	return g
 }
 
 // Loader loads and type-checks packages of one module. The standard
@@ -169,18 +190,32 @@ func (l *Loader) expand(pat string) ([]string, error) {
 }
 
 // hasGoFiles reports whether dir directly contains at least one buildable
-// non-test Go file.
+// non-test Go file. A directory holding only _test.go files (or only files
+// excluded by build tags) is not a package from the analyzers' point of
+// view and is skipped, not failed.
 func hasGoFiles(dir string) bool {
+	return len(goFilesIn(dir)) > 0
+}
+
+// goFilesIn returns the names of dir's buildable non-test Go files: the
+// filename filter of buildableGoFile plus the //go:build constraint in each
+// file's header, evaluated for this process's platform.
+func goFilesIn(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return false
+		return nil
 	}
+	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && buildableGoFile(e.Name()) {
-			return true
+		if e.IsDir() || !buildableGoFile(e.Name()) {
+			continue
 		}
+		if !buildConstraintOK(filepath.Join(dir, e.Name())) {
+			continue
+		}
+		names = append(names, e.Name())
 	}
-	return false
+	return names
 }
 
 // buildableGoFile mirrors the go tool's file selection: .go files that are
@@ -192,6 +227,38 @@ func buildableGoFile(name string) bool {
 		!strings.HasSuffix(name, "_test.go") &&
 		!strings.HasPrefix(name, "_") &&
 		!strings.HasPrefix(name, ".")
+}
+
+// buildConstraintOK evaluates the file's //go:build line, if any, the way
+// the go tool would: against the running GOOS/GOARCH, the gc compiler, and
+// every go1.N release tag (the module floor is whatever toolchain runs the
+// analysis). Files the constraint excludes would not compile into the
+// binary under test, so analyzing them would report on dead code.
+func buildConstraintOK(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true // let the parser produce the real error
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+				strings.HasPrefix(tag, "go1.")
+		})
+	}
+	return true
 }
 
 // load type-checks the package at the given module-local import path,
@@ -223,8 +290,7 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	if _, err := os.Stat(dir); err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
 	}
 	pkg := &Package{
@@ -233,23 +299,31 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		Fset:    l.Fset,
 		ignores: map[string][]*ignoreDirective{},
 	}
-	for _, e := range entries {
-		if e.IsDir() || !buildableGoFile(e.Name()) {
-			continue
-		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil,
+	for _, name := range goFilesIn(dir) {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			// A syntax error in one file must not abort the module run:
+			// record it where the driver reports type-check failures and
+			// keep analyzing everything that parses.
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+			continue
 		}
 		pkg.Files = append(pkg.Files, f)
-		byLine, malformed := parseDirectives(l.Fset, f)
+		byLine, all, malformed := parseDirectives(l.Fset, f)
 		for k, v := range byLine {
 			pkg.ignores[k] = v
 		}
+		pkg.directives = append(pkg.directives, all...)
 		pkg.malformed = append(pkg.malformed, malformed...)
 	}
 	if len(pkg.Files) == 0 {
+		if len(pkg.TypeErrors) > 0 {
+			// Nothing parsed; report the collected errors instead of
+			// pretending the directory is empty.
+			l.pkgs[path] = pkg
+			return pkg, nil
+		}
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 

@@ -1,0 +1,147 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/huffduff/huffduff/internal/lint"
+)
+
+// writeTree lays out a throwaway module for loader edge-case tests.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func loadAll(t *testing.T, dir string) []*lint.Package {
+	t.Helper()
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return pkgs
+}
+
+func pkgByDir(pkgs []*lint.Package, base string) *lint.Package {
+	for _, p := range pkgs {
+		if filepath.Base(p.Dir) == base {
+			return p
+		}
+	}
+	return nil
+}
+
+// TestLoadSkipsTestOnlyPackage: a directory holding only _test.go files is
+// not a package from the analyzers' point of view and must be skipped, not
+// failed.
+func TestLoadSkipsTestOnlyPackage(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":             "module example.com/m\n\ngo 1.21\n",
+		"ok/ok.go":           "package ok\n\nfunc Fine() int { return 1 }\n",
+		"onlytest/x_test.go": "package onlytest\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+		"onlytest/note.txt":  "not a go file\n",
+	})
+	pkgs := loadAll(t, dir)
+	if got := pkgByDir(pkgs, "onlytest"); got != nil {
+		t.Errorf("test-only directory loaded as package %s", got.Path)
+	}
+	if pkgByDir(pkgs, "ok") == nil {
+		t.Errorf("sibling package missing from load: %v", pkgs)
+	}
+}
+
+// TestLoadBuildTagExclusion: a file excluded by its //go:build line would
+// not compile into the binary under test, so the loader must not parse or
+// type-check it. The excluded file references an undefined symbol — if it
+// slipped in, the package would carry type errors.
+func TestLoadBuildTagExclusion(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":         "module example.com/m\n\ngo 1.21\n",
+		"tagged/keep.go": "package tagged\n\nfunc Keep() int { return 1 }\n",
+		"tagged/skip.go": "//go:build neverever\n\npackage tagged\n\nvar X = undefinedSymbol\n",
+		// A package whose every file is excluded is skipped entirely.
+		"ghost/all.go": "//go:build neverever\n\npackage ghost\n",
+	})
+	pkgs := loadAll(t, dir)
+	tagged := pkgByDir(pkgs, "tagged")
+	if tagged == nil {
+		t.Fatalf("tagged package missing from load: %v", pkgs)
+	}
+	if len(tagged.Files) != 1 {
+		t.Errorf("tagged package parsed %d files, want 1 (skip.go excluded)", len(tagged.Files))
+	}
+	if len(tagged.TypeErrors) != 0 {
+		t.Errorf("tagged package has type errors, so the excluded file was checked: %v", tagged.TypeErrors)
+	}
+	if got := pkgByDir(pkgs, "ghost"); got != nil {
+		t.Errorf("fully excluded directory loaded as package %s", got.Path)
+	}
+}
+
+// TestLoadSurvivesBrokenPackage: a syntax or type-check failure mid-module
+// must be reported on the failing package, not abort the run — the rest of
+// the module still loads and the analyzers still run without panicking.
+func TestLoadSurvivesBrokenPackage(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":            "module example.com/m\n\ngo 1.21\n",
+		"ok/ok.go":          "package ok\n\nfunc Fine() int { return 1 }\n",
+		"broken/broken.go":  "package broken\n\nfunc Oops( {\n",
+		"broken/fine.go":    "package broken\n\nfunc Fine() int { return 2 }\n",
+		"typebad/t.go":      "package typebad\n\nvar X = undefinedIdent\n",
+		"allbroken/only.go": "package allbroken\n\nfunc (\n",
+	})
+	pkgs := loadAll(t, dir)
+
+	broken := pkgByDir(pkgs, "broken")
+	if broken == nil {
+		t.Fatal("broken package missing: a syntax error aborted the load")
+	}
+	if len(broken.TypeErrors) == 0 {
+		t.Error("broken package reports no errors for its unparseable file")
+	}
+	if len(broken.Files) != 1 {
+		t.Errorf("broken package parsed %d files, want 1 (the file that parses)", len(broken.Files))
+	}
+
+	typebad := pkgByDir(pkgs, "typebad")
+	if typebad == nil {
+		t.Fatal("typebad package missing: a type error aborted the load")
+	}
+	if len(typebad.TypeErrors) == 0 {
+		t.Error("typebad package reports no type errors")
+	}
+
+	allbroken := pkgByDir(pkgs, "allbroken")
+	if allbroken == nil {
+		t.Fatal("allbroken package missing: it must surface its errors, not vanish")
+	}
+	if len(allbroken.TypeErrors) == 0 || len(allbroken.Files) != 0 {
+		t.Errorf("allbroken: %d files, errors %v; want 0 files and recorded errors",
+			len(allbroken.Files), allbroken.TypeErrors)
+	}
+
+	if pkgByDir(pkgs, "ok") == nil {
+		t.Fatal("healthy sibling package missing from load")
+	}
+
+	// The analyzers run over the mix — including the file-less package with
+	// nil type info — without panicking or inventing findings.
+	if diags := lint.RunAnalyzers(pkgs, lint.All()); len(diags) != 0 {
+		t.Errorf("unexpected diagnostics on the broken module: %v", diags)
+	}
+}

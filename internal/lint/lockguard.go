@@ -1,0 +1,860 @@
+package lint
+
+// lockguard enforces the mutex discipline of the concurrent subsystems. A
+// struct field annotated
+//
+//	// guarded by mu
+//
+// (where mu names a sibling sync.Mutex or sync.RWMutex field) must be
+// accessed with that mutex held on every path, checked by running the lock
+// lattice {unknown, held, free} over each function's CFG. The analyzer also
+// flags the classic mechanical mutex bugs: a second Lock on a path that
+// already holds the lock (deadlock), an Unlock on a path that already
+// released it (runtime panic), a lock released on some return paths but not
+// all (the unlock-on-error-path-only shape), and mutex-bearing structs
+// passed by value (the copy silently forks the lock).
+//
+// Functions legitimately run without the lock in three situations, all
+// recognized so the rule stays annotation-cheap:
+//
+//   - names ending in "Locked" declare the caller-holds-lock contract;
+//   - accesses through a value the function itself allocated (&T{}, T{},
+//     new(T)) predate any sharing;
+//   - a function whose every callsite either holds the receiver's mutex,
+//     passes a locally allocated receiver, or sits in an exempt caller is
+//     itself exempt (computed to fixpoint over the module call graph —
+//     this is how pre-publication helpers like restore paths stay quiet).
+//
+// Unannotated fields of an annotated struct are inferred guarded when they
+// see at least one locked write and a locked majority outside exempt
+// contexts; minority unlocked accesses are then reported. This catches the
+// "every path locks except the one someone added last month" drift without
+// requiring annotations on every field.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockGuard is the mutex-discipline analyzer.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "Fields annotated `// guarded by mu` must be accessed with the " +
+		"mutex held on every path; also flags double-lock, double-unlock, " +
+		"unlock-on-some-paths-only, and by-value mutex copies.",
+	Paths: []string{"internal/store", "internal/telemetry", "internal/converge", "internal/obs"},
+	Run:   runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// lockState is the per-mutex lattice value.
+type lockState int8
+
+const (
+	lockHeld lockState = iota + 1
+	lockFree
+)
+
+// lockFacts maps mutex keys (receiver expression + mutex field, e.g.
+// "s.mu") to their state; absent means unknown. defers records mutexes
+// with a pending deferred unlock, so held-at-exit with a defer is clean.
+type lockFacts struct {
+	state  map[string]lockState
+	defers map[string]bool
+}
+
+type lockProblem struct {
+	info *types.Info
+}
+
+func (p *lockProblem) Entry() lockFacts {
+	return lockFacts{state: map[string]lockState{}, defers: map[string]bool{}}
+}
+
+func (p *lockProblem) Transfer(f lockFacts, n ast.Node) lockFacts {
+	type op struct {
+		key     string
+		state   lockState
+		isDefer bool
+	}
+	var ops []op
+	if def, ok := n.(*ast.DeferStmt); ok {
+		for _, key := range deferredUnlocks(p.info, def) {
+			ops = append(ops, op{key: key, isDefer: true})
+		}
+	} else {
+		inspectCalls(n, func(call *ast.CallExpr) {
+			key, name, ok := mutexMethod(p.info, call)
+			if !ok {
+				return
+			}
+			switch name {
+			case "Lock", "RLock":
+				ops = append(ops, op{key: key, state: lockHeld})
+			case "Unlock", "RUnlock":
+				ops = append(ops, op{key: key, state: lockFree})
+			}
+		})
+	}
+	if len(ops) == 0 {
+		return f
+	}
+	out := lockFacts{
+		state:  make(map[string]lockState, len(f.state)+len(ops)),
+		defers: make(map[string]bool, len(f.defers)),
+	}
+	for k, v := range f.state {
+		out.state[k] = v
+	}
+	for k := range f.defers {
+		out.defers[k] = true
+	}
+	for _, o := range ops {
+		if o.isDefer {
+			out.defers[o.key] = true
+		} else {
+			out.state[o.key] = o.state
+		}
+	}
+	return out
+}
+
+func (p *lockProblem) Merge(a, b lockFacts) lockFacts {
+	out := lockFacts{state: map[string]lockState{}, defers: map[string]bool{}}
+	for k, v := range a.state {
+		if b.state[k] == v {
+			out.state[k] = v
+		}
+	}
+	for k := range a.defers {
+		if b.defers[k] {
+			out.defers[k] = true
+		}
+	}
+	return out
+}
+
+func (p *lockProblem) Equal(a, b lockFacts) bool {
+	if len(a.state) != len(b.state) || len(a.defers) != len(b.defers) {
+		return false
+	}
+	for k, v := range a.state {
+		if b.state[k] != v {
+			return false
+		}
+	}
+	for k := range a.defers {
+		if !b.defers[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// deferredUnlocks returns the mutex keys a defer statement unlocks, either
+// directly (`defer mu.Unlock()`) or through a literal body.
+func deferredUnlocks(info *types.Info, def *ast.DeferStmt) []string {
+	if key, name, ok := mutexMethod(info, def.Call); ok {
+		if name == "Unlock" || name == "RUnlock" {
+			return []string{key}
+		}
+		return nil
+	}
+	lit, ok := def.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, name, ok := mutexMethod(info, call); ok && (name == "Unlock" || name == "RUnlock") {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// mutexMethod matches a method call on a sync.Mutex / sync.RWMutex valued
+// expression, returning the lock key (the receiver's source text) and the
+// method name.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (key, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	tv, okT := info.Types[sel.X]
+	if !okT || !isMutexType(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// guardInfo describes one annotated (or inference-candidate) field.
+type guardInfo struct {
+	mu         string // sibling mutex field name
+	structName string
+	annotated  bool
+}
+
+// lockUnit is one analyzed function body: a declaration or a function
+// literal (which inherits its enclosing declaration's exemption and local
+// allocations).
+type lockUnit struct {
+	decl *ast.FuncDecl // enclosing declaration
+	body *ast.BlockStmt
+	pos  token.Pos
+}
+
+// candStat accumulates inference evidence for one candidate field.
+type candStat struct {
+	lockedR, lockedW     int
+	unlockedR, unlockedW int
+	unlockedPos          []token.Pos
+}
+
+func runLockGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	guards := collectGuards(pass)
+	lockCopyCheck(pass)
+
+	var units []lockUnit
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			units = append(units, lockUnit{decl: fd, body: fd.Body, pos: fd.Name.Pos()})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					units = append(units, lockUnit{decl: fd, body: lit.Body, pos: lit.Pos()})
+				}
+				return true
+			})
+		}
+	}
+
+	prob := &lockProblem{info: info}
+	results := make([]*FlowResult[lockFacts], len(units))
+	graphs := make([]*Graph, len(units))
+	for i, u := range units {
+		graphs[i] = pass.Pkg.CFG(u.body)
+		results[i] = Solve[lockFacts](graphs[i], prob)
+	}
+
+	allocs := map[*ast.FuncDecl]map[types.Object]bool{}
+	allocTypes := map[*ast.FuncDecl]map[*types.Named]bool{}
+	for _, u := range units {
+		if allocs[u.decl] == nil {
+			objs, named := localAllocs(info, u.decl.Body)
+			allocs[u.decl] = objs
+			allocTypes[u.decl] = named
+		}
+	}
+	exempt := lockExemptions(pass, units, graphs, results, guards, allocs, allocTypes)
+
+	stats := map[*types.Var]*candStat{}
+	for i, u := range units {
+		checkUnit(pass, u, graphs[i], results[i], guards, allocs[u.decl], exempt[u.decl], stats)
+	}
+
+	// Inference: candidate fields with a locked write and a locked majority
+	// are treated as guarded; the minority unlocked accesses are the drift.
+	fields := make([]*types.Var, 0, len(stats))
+	for f := range stats {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, f := range fields {
+		st := stats[f]
+		gi := guards[f]
+		if st.lockedW == 0 || st.lockedR+st.lockedW <= st.unlockedR+st.unlockedW {
+			continue
+		}
+		for _, pos := range st.unlockedPos {
+			pass.Reportf(pos, "%s.%s is accessed under %s on most paths; this access misses the lock — hold %s here or annotate the field `// guarded by %s`",
+				gi.structName, f.Name(), gi.mu, gi.mu, gi.mu)
+		}
+	}
+}
+
+// collectGuards indexes the package's annotated fields and, for structs
+// with at least one annotation, the unannotated sibling fields eligible
+// for inference.
+func collectGuards(pass *Pass) map[*types.Var]guardInfo {
+	info := pass.Pkg.Info
+	out := map[*types.Var]guardInfo{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexFields := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if tv, ok := info.Types[fld.Type]; ok && isMutexType(tv.Type) {
+					for _, name := range fld.Names {
+						mutexFields[name.Name] = true
+					}
+				}
+			}
+			if len(mutexFields) == 0 {
+				return true
+			}
+			type annotated struct {
+				fld *ast.Field
+				mu  string
+			}
+			var anns []annotated
+			for _, fld := range st.Fields.List {
+				text := fld.Doc.Text() + " " + fld.Comment.Text()
+				m := guardedByRE.FindStringSubmatch(text)
+				if m == nil || !mutexFields[m[1]] {
+					continue // unannotated, or names a non-sibling (qualified forms ignored)
+				}
+				anns = append(anns, annotated{fld, m[1]})
+			}
+			if len(anns) == 0 {
+				return true
+			}
+			for _, a := range anns {
+				for _, name := range a.fld.Names {
+					if obj, ok := info.Defs[name].(*types.Var); ok {
+						out[obj] = guardInfo{mu: a.mu, structName: ts.Name.Name, annotated: true}
+					}
+				}
+			}
+			// Inference candidates: the remaining fields, minus the mutexes
+			// themselves and self-synchronized types.
+			inferMu := anns[0].mu
+			for _, fld := range st.Fields.List {
+				tv, ok := info.Types[fld.Type]
+				if !ok || isMutexType(tv.Type) || selfSynchronized(tv.Type) {
+					continue
+				}
+				for _, name := range fld.Names {
+					obj, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if _, done := out[obj]; done {
+						continue
+					}
+					out[obj] = guardInfo{mu: inferMu, structName: ts.Name.Name}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// selfSynchronized reports types that need no external lock: channels,
+// sync.* primitives, and atomic values.
+func selfSynchronized(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
+}
+
+// localAllocs collects the variables a body allocates itself (x := &T{...},
+// x := T{...}, x := new(T)) and the named struct types so allocated:
+// accesses through them predate sharing and need no lock.
+func localAllocs(info *types.Info, body *ast.BlockStmt) (map[types.Object]bool, map[*types.Named]bool) {
+	objs := map[types.Object]bool{}
+	named := map[*types.Named]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch v := ast.Unparen(rhs).(type) {
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return
+			}
+			if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); !ok {
+				return
+			}
+		case *ast.CompositeLit:
+		case *ast.CallExpr:
+			if fn, ok := v.Fun.(*ast.Ident); !ok || fn.Name != "new" {
+				return
+			}
+		default:
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		objs[obj] = true
+		if n, ok := derefNamed(obj.Type()); ok {
+			named[n] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					record(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return objs, named
+}
+
+// derefNamed unwraps pointers to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// structMutexes returns the mutex field names that guard annotated fields
+// of the given named type, per the guards index.
+func structMutexes(guards map[*types.Var]guardInfo, n *types.Named) []string {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	seen := map[string]bool{}
+	var mus []string
+	for i := 0; i < st.NumFields(); i++ {
+		gi, ok := guards[st.Field(i)]
+		if !ok || !gi.annotated || seen[gi.mu] {
+			continue
+		}
+		seen[gi.mu] = true
+		mus = append(mus, gi.mu)
+	}
+	return mus
+}
+
+// lockExemptions computes, to fixpoint, which declarations run in contexts
+// that legitimately hold no lock: the "Locked" naming contract, plus
+// functions whose every callsite holds the receiver's mutex, passes a
+// locally allocated receiver, or sits in an already-exempt caller.
+func lockExemptions(pass *Pass, units []lockUnit, graphs []*Graph, results []*FlowResult[lockFacts],
+	guards map[*types.Var]guardInfo, allocs map[*ast.FuncDecl]map[types.Object]bool,
+	allocTypes map[*ast.FuncDecl]map[*types.Named]bool) map[*ast.FuncDecl]bool {
+
+	info := pass.Pkg.Info
+	exempt := map[*ast.FuncDecl]bool{}
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	for _, u := range units {
+		if fn, ok := info.Defs[u.decl.Name].(*types.Func); ok {
+			declOf[fn] = u.decl
+		}
+		if strings.HasSuffix(u.decl.Name.Name, "Locked") {
+			exempt[u.decl] = true
+		}
+	}
+
+	// One record per module-internal callsite inside this package: was the
+	// callee's receiver mutex held, or the receiver locally allocated?
+	type site struct {
+		callee    *types.Func
+		caller    *ast.FuncDecl
+		satisfied bool // lock held or receiver locally allocated
+	}
+	var sites []site
+	for i, u := range units {
+		u := u
+		results[i].Walk(graphs[i], func(f lockFacts, n ast.Node) {
+			inspectCalls(n, func(call *ast.CallExpr) {
+				callee, ok := calleeObject(info, call).(*types.Func)
+				if !ok || declOf[callee] == nil {
+					return
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					sites = append(sites, site{callee, u.decl, false})
+					return
+				}
+				recvType := receiverNamed(callee)
+				satisfied := false
+				if recvType != nil {
+					if mus := structMutexes(guards, recvType); len(mus) > 0 {
+						satisfied = true
+						for _, mu := range mus {
+							if f.state[types.ExprString(sel.X)+"."+mu] != lockHeld {
+								satisfied = false
+								break
+							}
+						}
+					}
+				}
+				if !satisfied {
+					if obj := rootObject(info, sel.X); obj != nil && allocs[u.decl][obj] {
+						satisfied = true
+					}
+				}
+				sites = append(sites, site{callee, u.decl, satisfied})
+			})
+		})
+	}
+
+	sitesOf := map[*ast.FuncDecl][]site{}
+	for _, s := range sites {
+		d := declOf[s.callee]
+		sitesOf[d] = append(sitesOf[d], s)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if exempt[u.decl] {
+				continue
+			}
+			fn, ok := info.Defs[u.decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			callers := pass.Calls.Callers[fn]
+			if len(callers) == 0 {
+				continue
+			}
+			ok = true
+			for _, caller := range callers {
+				cd := declOf[caller]
+				if cd == nil {
+					ok = false // called from outside this package: assume shared
+					break
+				}
+				if exempt[cd] || allocTypes[cd][receiverNamed(fn)] {
+					continue
+				}
+				ok = false
+				break
+			}
+			if !ok {
+				continue
+			}
+			// Every caller is exempt or allocates the receiver; additionally
+			// accept mixed cases where individual callsites hold the lock.
+			for _, s := range sitesOf[u.decl] {
+				if !(s.satisfied || exempt[s.caller] || allocTypes[s.caller][receiverNamed(fn)]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				exempt[u.decl] = true
+				changed = true
+			}
+		}
+	}
+
+	// Second form: functions whose callers are not all exempt, but whose
+	// every individual callsite is satisfied (lock held or local receiver).
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if exempt[u.decl] {
+				continue
+			}
+			fn, ok := info.Defs[u.decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			callers := pass.Calls.Callers[fn]
+			ss := sitesOf[u.decl]
+			if len(callers) == 0 || len(ss) == 0 {
+				continue
+			}
+			allIn := true
+			for _, caller := range callers {
+				if declOf[caller] == nil {
+					allIn = false
+					break
+				}
+			}
+			if !allIn {
+				continue
+			}
+			ok = true
+			for _, s := range ss {
+				if !(s.satisfied || exempt[s.caller]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				exempt[u.decl] = true
+				changed = true
+			}
+		}
+	}
+	return exempt
+}
+
+// receiverNamed returns the named struct type of a method's receiver.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	n, _ := derefNamed(sig.Recv().Type())
+	return n
+}
+
+// rootObject returns the object of the leftmost identifier of an access
+// chain (x in x.a.b[i].c).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkUnit reports the per-path mutex violations of one function body and
+// accumulates inference evidence.
+func checkUnit(pass *Pass, u lockUnit, g *Graph, res *FlowResult[lockFacts],
+	guards map[*types.Var]guardInfo, localObjs map[types.Object]bool,
+	exempt bool, stats map[*types.Var]*candStat) {
+
+	info := pass.Pkg.Info
+	unlockKeys := map[string]bool{}
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, name, ok := mutexMethod(info, call); ok && (name == "Unlock" || name == "RUnlock") {
+				unlockKeys[key] = true
+			}
+		}
+		return true
+	})
+
+	res.Walk(g, func(f lockFacts, n ast.Node) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // deferred calls run at return, not here
+		}
+		inspectCalls(n, func(call *ast.CallExpr) {
+			key, name, ok := mutexMethod(info, call)
+			if !ok {
+				return
+			}
+			switch name {
+			case "Lock":
+				if f.state[key] == lockHeld {
+					pass.Reportf(call.Pos(), "second %s.Lock on a path where the lock is already held; this deadlocks", key)
+				}
+			case "Unlock", "RUnlock":
+				if f.state[key] == lockFree {
+					pass.Reportf(call.Pos(), "%s.%s on a path where the lock is already released; this panics at run time", key, name)
+				}
+			}
+		})
+		eachFieldAccess(info, n, func(sel *ast.SelectorExpr, write bool) {
+			obj, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok {
+				return
+			}
+			gi, ok := guards[obj]
+			if !ok {
+				return
+			}
+			if exempt {
+				return
+			}
+			if root := rootObject(info, sel.X); root != nil && localObjs[root] {
+				return
+			}
+			key := types.ExprString(sel.X) + "." + gi.mu
+			locked := f.state[key] == lockHeld
+			if gi.annotated {
+				if !locked {
+					pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s but accessed on a path where the lock is not held",
+						gi.structName, obj.Name(), gi.mu)
+				}
+				return
+			}
+			st := stats[obj]
+			if st == nil {
+				st = &candStat{}
+				stats[obj] = st
+			}
+			switch {
+			case locked && write:
+				st.lockedW++
+			case locked:
+				st.lockedR++
+			case write:
+				st.unlockedW++
+				st.unlockedPos = append(st.unlockedPos, sel.Sel.Pos())
+			default:
+				st.unlockedR++
+				st.unlockedPos = append(st.unlockedPos, sel.Sel.Pos())
+			}
+		})
+	})
+
+	if exempt {
+		return
+	}
+	leaked := map[string]bool{}
+	for _, f := range res.ExitFacts(g) {
+		for key, st := range f.state {
+			if st == lockHeld && !f.defers[key] && unlockKeys[key] {
+				leaked[key] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(leaked))
+	for k := range leaked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pass.Reportf(u.pos, "%s is released on some return paths but still held on others; unlock on every path or defer the unlock", k)
+	}
+}
+
+// eachFieldAccess visits every selector expression under a leaf node with
+// its read/write classification, skipping function literal interiors.
+func eachFieldAccess(info *types.Info, n ast.Node, visit func(sel *ast.SelectorExpr, write bool)) {
+	writes := map[ast.Expr]bool{}
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			writes[ast.Unparen(lhs)] = true
+		}
+	case *ast.IncDecStmt:
+		writes[ast.Unparen(st.X)] = true
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			visit(sel, writes[sel])
+		}
+		return true
+	})
+}
+
+// lockCopyCheck flags mutex-bearing structs passed (or received) by value:
+// the copy forks the lock and the two halves synchronize nothing.
+func lockCopyCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			var fields []*ast.Field
+			if fd.Recv != nil {
+				fields = append(fields, fd.Recv.List...)
+			}
+			if fd.Type.Params != nil {
+				fields = append(fields, fd.Type.Params.List...)
+			}
+			for _, fld := range fields {
+				tv, ok := info.Types[fld.Type]
+				if !ok {
+					continue
+				}
+				if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+					continue
+				}
+				if !containsMutex(tv.Type, map[types.Type]bool{}) {
+					continue
+				}
+				pass.Reportf(fld.Type.Pos(), "%s is passed by value and contains a sync.Mutex; the copy forks the lock — pass a pointer",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+			}
+		}
+	}
+}
+
+// containsMutex reports whether a value of type t embeds a mutex by value
+// (directly or through nested structs and arrays).
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isMutexType(t) {
+		return true
+	}
+	switch v := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if containsMutex(v.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(v.Elem(), seen)
+	}
+	return false
+}

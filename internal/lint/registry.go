@@ -5,9 +5,13 @@ import "fmt"
 // All returns every registered analyzer, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CrashSafe,
+		CtxFlow,
 		FloatEq,
 		GlobalRand,
+		GoroLeak,
 		HostTime,
+		LockGuard,
 		MapOrder,
 		WrapCheck,
 	}

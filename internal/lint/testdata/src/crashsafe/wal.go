@@ -1,0 +1,57 @@
+// Package store is crashsafe analyzer testdata: durability bugs, including
+// the failed-fsync shape PR 9's review caught in the telemetry journal.
+package store
+
+import "os"
+
+// Log is a WAL-like appender whose handle caches an offset.
+type Log struct {
+	f   *os.File
+	off int64
+}
+
+// Append encodes the PR 9 bug shape: a failed Write returns with the
+// handle still open and the cached offset about to drift from the bytes
+// actually on disk.
+func (l *Log) Append(frame []byte) error {
+	if _, err := l.f.Write(frame); err != nil {
+		return err
+	}
+	l.off += int64(len(frame))
+	return nil
+}
+
+// Flush is the failed-fsync variant: the error path falls through with the
+// handle appendable over torn bytes.
+func (l *Log) Flush() error {
+	err := l.f.Sync()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Publish renames a written-but-unsynced file into place: Close flushes to
+// the page cache, not the platter, so a crash can tear the final name.
+func Publish(dir string) error {
+	f, err := os.Create(dir + "/staging")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/staging", dir+"/final")
+}
+
+// Snapshot publishes an os.WriteFile target, which is never synced.
+func Snapshot(dir string, data []byte) error {
+	if err := os.WriteFile(dir+"/manifest.new", data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/manifest.new", dir+"/manifest")
+}

@@ -1,0 +1,31 @@
+// Package huffduff is ctxflow analyzer testdata: severed cancellation.
+package huffduff
+
+import "context"
+
+// Result is a placeholder attack result.
+type Result struct{ Layers int }
+
+// RunContext is the context-aware form of Run.
+func RunContext(ctx context.Context, budget int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Layers: budget}, nil
+}
+
+// Run severs the chain with a fresh root context.
+func Run(budget int) (*Result, error) {
+	return RunContext(context.Background(), budget)
+}
+
+// Drive holds a ctx but calls the plain form, dropping cancellation.
+func Drive(ctx context.Context, budget int) (*Result, error) {
+	return Run(budget)
+}
+
+// Stash parks work under a fresh TODO context.
+func Stash() error {
+	_, err := RunContext(context.TODO(), 1)
+	return err
+}

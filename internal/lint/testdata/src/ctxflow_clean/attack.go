@@ -1,0 +1,27 @@
+// Package huffduff is the ctxflow clean twin: cancellation threads through
+// end to end, and the one deliberate root carries an explanatory directive.
+package huffduff
+
+import "context"
+
+// Result is a placeholder attack result.
+type Result struct{ Layers int }
+
+// RunContext is the context-aware entry point.
+func RunContext(ctx context.Context, budget int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Layers: budget}, nil
+}
+
+// Run is the compatibility wrapper, suppressed with an explanation.
+func Run(budget int) (*Result, error) {
+	//lint:ignore ctxflow compatibility wrapper: context-aware callers use RunContext
+	return RunContext(context.Background(), budget)
+}
+
+// Drive threads its ctx into the Context-suffixed sibling.
+func Drive(ctx context.Context, budget int) (*Result, error) {
+	return RunContext(ctx, budget)
+}

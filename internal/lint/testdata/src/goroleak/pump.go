@@ -1,0 +1,30 @@
+// Package telemetry is goroleak analyzer testdata: pumps nothing can stop.
+package telemetry
+
+// Metrics accumulates samples pushed by a background pump.
+type Metrics struct {
+	samples []float64
+}
+
+// StartPump spawns a goroutine that loops forever with no termination
+// signal: nothing can stop it once started.
+func (m *Metrics) StartPump() {
+	go func() {
+		for {
+			m.samples = append(m.samples, 1.0)
+		}
+	}()
+}
+
+// drain loops over a counter with no shutdown path.
+func drain(m *Metrics) {
+	for i := 0; ; i++ {
+		m.samples = append(m.samples, float64(i))
+	}
+}
+
+// StartDrain spawns the named loop: the analyzer resolves the callee and
+// finds no signal there either.
+func StartDrain(m *Metrics) {
+	go drain(m)
+}

@@ -1,0 +1,62 @@
+// Package telemetry is the goroleak clean twin: every spawned loop can
+// observe a shutdown signal.
+package telemetry
+
+import (
+	"context"
+	"sync"
+)
+
+// Metrics drains a sample channel until shutdown.
+type Metrics struct {
+	samples chan float64
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// StartCtx spawns a loop that observes ctx.Done.
+func (m *Metrics) StartCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case s := <-m.samples:
+				_ = s
+			}
+		}
+	}()
+}
+
+// StartQuit spawns a loop a closed quit channel unblocks.
+func (m *Metrics) StartQuit() {
+	go func() {
+		for {
+			select {
+			case <-m.quit:
+				return
+			case s := <-m.samples:
+				_ = s
+			}
+		}
+	}()
+}
+
+// StartRange spawns a range-over-channel loop tracked by a WaitGroup: it
+// ends when the channel closes, and the owner can await it.
+func (m *Metrics) StartRange() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for s := range m.samples {
+			_ = s
+		}
+	}()
+}
+
+// FireOnce spawns a straight-line goroutine: it finishes on its own.
+func (m *Metrics) FireOnce() {
+	go func() {
+		m.samples <- 1.0
+	}()
+}

@@ -1,0 +1,67 @@
+// Package converge is lockguard analyzer testdata: mutex-discipline bugs.
+package converge
+
+import "sync"
+
+// Ledger guards its state with mu.
+type Ledger struct {
+	mu sync.Mutex
+	// count is guarded by mu.
+	count int
+	// seen is guarded by mu.
+	seen map[string]bool
+	hits int
+}
+
+// Add updates count without taking the lock.
+func (l *Ledger) Add(n int) {
+	l.count += n
+}
+
+// Get reads under the lock but leaks it on the early-return path.
+func (l *Ledger) Get(key string) bool {
+	l.mu.Lock()
+	if !l.seen[key] {
+		return false
+	}
+	v := l.seen[key]
+	l.mu.Unlock()
+	return v
+}
+
+// Reset stacks a second Lock (deadlock) and a second Unlock (panic).
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	l.mu.Lock()
+	l.count = 0
+	l.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// Stats receives the struct by value: the copy forks the lock.
+func Stats(l Ledger) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Touch updates the unannotated hits field under the lock.
+func (l *Ledger) Touch() {
+	l.mu.Lock()
+	l.hits++
+	l.mu.Unlock()
+}
+
+// TouchAgain also updates hits under the lock.
+func (l *Ledger) TouchAgain() {
+	l.mu.Lock()
+	l.hits++
+	l.count++
+	l.mu.Unlock()
+}
+
+// TouchFast is the drift: the same write without the lock, the minority
+// access the inference pass reports.
+func (l *Ledger) TouchFast() {
+	l.hits++
+}

@@ -1,0 +1,50 @@
+// Package converge is the lockguard clean twin: disciplined locking the
+// analyzer must stay silent on.
+package converge
+
+import "sync"
+
+// Ledger guards its state with mu.
+type Ledger struct {
+	mu sync.Mutex
+	// count is guarded by mu.
+	count int
+	hits  int
+}
+
+// Add locks around the writes.
+func (l *Ledger) Add(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count += n
+	l.hits++
+}
+
+// Snapshot reads with the lock held and an explicit unlock on every path.
+func (l *Ledger) Snapshot() (int, int) {
+	l.mu.Lock()
+	c, h := l.count, l.hits
+	l.mu.Unlock()
+	return c, h
+}
+
+// resetLocked declares the caller-holds-lock contract by name.
+func (l *Ledger) resetLocked() {
+	l.count = 0
+	l.hits = 0
+}
+
+// Clear takes the lock and delegates to the Locked helper.
+func (l *Ledger) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.resetLocked()
+}
+
+// NewLedger touches fields of a value it just allocated: the value is not
+// shared yet, so no lock is needed.
+func NewLedger(seed int) *Ledger {
+	l := &Ledger{}
+	l.count = seed
+	return l
+}

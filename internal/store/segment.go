@@ -114,14 +114,21 @@ type Segment struct {
 	dir string
 	cfg SegmentConfig
 
-	mu      sync.Mutex
-	closed  bool
-	segs    []*segmentInfo // ascending firstLSN; last is the active segment
-	activeW *os.File       // append handle of the active segment
+	mu sync.Mutex
+	// closed is guarded by mu.
+	closed bool
+	// segs is guarded by mu; ascending firstLSN, last is the active segment.
+	segs []*segmentInfo
+	// activeW is guarded by mu; the append handle of the active segment.
+	activeW *os.File
+	// nextLSN is guarded by mu.
 	nextLSN uint64
-	byID    map[int]*recLoc
-	evByID  map[int]*recLoc
-	stats   Stats
+	// byID is guarded by mu.
+	byID map[int]*recLoc
+	// evByID is guarded by mu.
+	evByID map[int]*recLoc
+	// stats is guarded by mu.
+	stats Stats
 
 	compactCh chan struct{}
 	wg        sync.WaitGroup
@@ -328,9 +335,12 @@ func (s *Segment) loadSidecar(logPath string, logSize int64) ([]idxEntry, bool) 
 	return sc.Entries, true
 }
 
-// writeSidecar persists a segment's index atomically (tmp + rename). A
-// failure is swallowed: the sidecar is an optimization, and the next open
-// simply rescans the frames.
+// writeSidecar persists a segment's index atomically (tmp + fsync +
+// rename). A failure is swallowed: the sidecar is an optimization, and the
+// next open simply rescans the frames. The fsync before the rename matters
+// even so — without it a crash can publish a torn sidecar under the final
+// name, and a torn sidecar whose Bytes field happens to survive intact
+// would misdirect recovery instead of falling back to the frame scan.
 func (s *Segment) writeSidecar(seg *segmentInfo, entries []idxEntry) {
 	raw, err := json.Marshal(sidecar{Bytes: seg.size, Entries: entries})
 	if err != nil {
@@ -338,7 +348,24 @@ func (s *Segment) writeSidecar(seg *segmentInfo, entries []idxEntry) {
 	}
 	idxPath := strings.TrimSuffix(seg.path, ".log") + ".idx"
 	tmp := idxPath + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if !s.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return
 	}
 	if err := os.Rename(tmp, idxPath); err != nil {

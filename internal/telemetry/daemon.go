@@ -144,9 +144,12 @@ type CampaignSnapshot struct {
 
 // campaign is the daemon-internal mutable record behind a snapshot.
 type campaign struct {
-	mu      sync.Mutex
-	snap    CampaignSnapshot
-	machine *accel.Machine // set once running; its stats are lock-protected
+	mu sync.Mutex
+	// snap is guarded by mu.
+	snap CampaignSnapshot
+	// machine is guarded by mu; set once running. Its own stats are
+	// internally lock-protected (accel.statsMu).
+	machine *accel.Machine
 	// ledger is the campaign's convergence ledger, created at submission
 	// (or restore) and closed when the campaign reaches a terminal state —
 	// it stays open across retries, so a retried campaign's stream shows
@@ -272,14 +275,22 @@ type Daemon struct {
 	ctx    context.Context // canceled by Kill and by Shutdown deadline expiry
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	closed    bool // draining: no new submissions
-	killed    bool // crash simulation: no state updates, no journal writes
-	queued    int  // externally-submitted jobs awaiting a worker
-	nextID    int
-	byID      map[int]*campaign
-	campaigns []*campaign // ascending ID
-	retryRng  *rand.Rand
+	mu sync.Mutex
+	// closed is guarded by mu; draining: no new submissions.
+	closed bool
+	// killed is guarded by mu; crash simulation: no state updates, no
+	// journal writes.
+	killed bool
+	// queued is guarded by mu; externally-submitted jobs awaiting a worker.
+	queued int
+	// nextID is guarded by mu.
+	nextID int
+	// byID is guarded by mu.
+	byID map[int]*campaign
+	// campaigns is guarded by mu; ascending ID.
+	campaigns []*campaign
+	// retryRng is guarded by mu.
+	retryRng *rand.Rand
 }
 
 // ErrQueueFull rejects submissions beyond the configured backlog.
@@ -306,6 +317,7 @@ func NewDaemon(cfg DaemonConfig) *Daemon {
 	if cfg.Store == nil {
 		cfg.Store = store.NewMemory()
 	}
+	//lint:ignore ctxflow the daemon owns the process-lifetime root context; Kill/Shutdown cancel it
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Daemon{
 		cfg:      cfg,

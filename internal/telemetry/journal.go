@@ -103,13 +103,24 @@ type Journal struct {
 	dir string
 	cfg JournalConfig
 
-	mu       sync.Mutex
-	f        *os.File
+	mu sync.Mutex
+	// f is guarded by mu; nil once the journal is closed or sealed.
+	f *os.File
+	// segIndex is guarded by mu.
 	segIndex int
-	segSize  int64
+	// segSize is guarded by mu.
+	segSize int64
+	// disabled is guarded by mu.
 	disabled bool
-	failing  bool
-	stats    JournalStats
+	// sealed is guarded by mu; set when a failed write left no usable
+	// segment, so later appends report the failure instead of silently
+	// dropping records.
+	sealed bool
+	// failing is guarded by mu.
+	failing bool
+	// stats is guarded by mu.
+	stats JournalStats
+	// replayed is guarded by mu.
 	replayed []ReplayedCampaign
 }
 
@@ -146,7 +157,7 @@ func OpenJournal(dir string, cfg JournalConfig) (*Journal, error) {
 		j.replayed = append(j.replayed, *byID[id])
 	}
 	j.segIndex = len(segs) + 1
-	if err := j.openSegment(); err != nil {
+	if err := j.openSegmentLocked(); err != nil {
 		return nil, err
 	}
 	return j, nil
@@ -232,9 +243,9 @@ func (j *Journal) Replayed() []ReplayedCampaign {
 	return append([]ReplayedCampaign(nil), j.replayed...)
 }
 
-// openSegment starts segment j.segIndex for appending. Callers hold j.mu or
-// have exclusive access (OpenJournal).
-func (j *Journal) openSegment() error {
+// openSegmentLocked starts segment j.segIndex for appending. Callers hold
+// j.mu or have exclusive access (OpenJournal).
+func (j *Journal) openSegmentLocked() error {
 	path := filepath.Join(j.dir, fmt.Sprintf("journal-%06d.jsonl", j.segIndex))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -286,8 +297,17 @@ func (j *Journal) append(rec journalRecord) error {
 	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.disabled || j.f == nil {
+	if j.disabled || (j.f == nil && !j.sealed) {
 		return nil
+	}
+	if j.f == nil {
+		// Sealed after a failed write and no replacement segment could be
+		// opened: nothing can be persisted. Keep reporting so /healthz
+		// stays degraded instead of silently dropping records.
+		j.stats.Errors++
+		j.failing = true
+		j.count("journal.errors", 1)
+		return fmt.Errorf("telemetry: journal sealed after write failure")
 	}
 	if err := j.writeLocked(line); err != nil {
 		j.stats.Errors++
@@ -303,7 +323,16 @@ func (j *Journal) append(rec journalRecord) error {
 	return nil
 }
 
-// writeLocked performs the fault-injectable write+fsync under j.mu.
+// writeLocked performs the fault-injectable write+fsync under j.mu. A
+// failed write or fsync seals the active segment: the file may now end in
+// a torn partial line, and appending anything after it would hand the next
+// replay a corrupted record built from two concatenated halves — the
+// acknowledged record before the corruption would be lost. Sealing closes
+// the handle and rotates to a fresh segment, quarantining the torn tail
+// exactly the way a crash tail is quarantined. Injected faults
+// (cfg.Fault) return before anything touches the file, so they do not
+// seal — the chaos tests rely on the journal recovering in place once the
+// fault window closes.
 func (j *Journal) writeLocked(line []byte) error {
 	if j.cfg.Fault != nil {
 		if err := j.cfg.Fault(); err != nil {
@@ -311,11 +340,13 @@ func (j *Journal) writeLocked(line []byte) error {
 		}
 	}
 	if _, err := j.f.Write(line); err != nil {
+		j.sealFailedLocked()
 		return fmt.Errorf("telemetry: journal write: %w", err)
 	}
 	j.segSize += int64(len(line))
 	if !j.cfg.NoSync {
 		if err := j.f.Sync(); err != nil {
+			j.sealFailedLocked()
 			return fmt.Errorf("telemetry: journal fsync: %w", err)
 		}
 		j.stats.Fsyncs++
@@ -323,14 +354,35 @@ func (j *Journal) writeLocked(line []byte) error {
 	}
 	if j.segSize >= j.cfg.SegmentBytes {
 		if err := j.f.Close(); err != nil {
+			j.sealFailedLocked()
 			return fmt.Errorf("telemetry: journal rotate close: %w", err)
 		}
+		j.f = nil
 		j.segIndex++
-		if err := j.openSegment(); err != nil {
+		if err := j.openSegmentLocked(); err != nil {
+			j.sealed = true
 			return err
 		}
 	}
 	return nil
+}
+
+// sealFailedLocked quarantines the active segment after a failed write,
+// fsync, or rotate-close: the file may end in torn bytes, so the handle is
+// closed (best effort — the segment is already suspect) and a fresh
+// segment is opened for later appends. Replay already skips unparseable
+// tails, so the quarantined segment stays readable. If even the fresh
+// segment cannot be opened, the journal latches sealed and later appends
+// keep reporting the failure.
+func (j *Journal) sealFailedLocked() {
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	j.segIndex++
+	if err := j.openSegmentLocked(); err != nil {
+		j.sealed = true
+	}
 }
 
 // count publishes a journal counter when a recorder is configured. Callers

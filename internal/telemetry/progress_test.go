@@ -179,3 +179,82 @@ func TestProgressStream(t *testing.T) {
 	}
 	<-serveDone
 }
+
+// ledgerProgress serves one live ledger as campaign 1, standing in for the
+// daemon so the disconnect test needs no real attack.
+type ledgerProgress struct{ led *converge.Ledger }
+
+func (p ledgerProgress) ProgressLedger(id int) (*converge.Ledger, bool) {
+	if id != 1 {
+		return nil, false
+	}
+	return p.led, true
+}
+
+// TestProgressStreamClientDisconnect is the goroutine-leak regression test
+// for the stream handler: a client that walks away mid-stream (campaign
+// still running, ledger still open) must tear down its subscription — the
+// handler goroutine exits via the request context and unsubscribes. Without
+// that cleanup each abandoned watcher pins a subscriber channel until the
+// campaign ends. Named to ride the CI race-instrumented TestProgressStream
+// run.
+func TestProgressStreamClientDisconnect(t *testing.T) {
+	led := converge.NewLedger(nil)
+	defer led.Close()
+	led.Append(converge.Snapshot{Stage: "calibrate"})
+	led.Append(converge.Snapshot{Stage: "probe"})
+
+	srv := NewServer(ServerOptions{Progress: ledgerProgress{led}})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	ctx, cancelReq := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/campaigns/1/progress/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: got status %d", resp.StatusCode)
+	}
+
+	// Read the replayed history so the stream is demonstrably live before
+	// the client walks away.
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 2; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d replayed snapshots: %v", i, sc.Err())
+		}
+	}
+	if got := led.Subscribers(); got != 1 {
+		t.Fatalf("live stream holds %d subscriptions, want 1", got)
+	}
+
+	cancelReq()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for led.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription leaked: %d subscribers remain after client disconnect", led.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The ledger is still open: appends after the disconnect must not block
+	// or panic on the departed subscriber's channel.
+	led.Append(converge.Snapshot{Stage: "finalize"})
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("server shutdown: %v", err)
+	}
+	<-serveDone
+}
